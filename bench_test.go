@@ -1,0 +1,250 @@
+// Repository benchmarks: one macro-benchmark per figure/table of the
+// paper (each regenerates its experiment through internal/harness and
+// prints the resulting series once), plus micro-benchmarks for the
+// performance-critical building blocks.
+//
+// The macro-benchmarks run at a reduced scale (bench* constants below)
+// so that `go test -bench=.` completes in minutes; run
+// `go run ./cmd/experiments -exp all` for paper-scale populations.
+package simquery_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/decluster"
+	"repro/internal/disk"
+	"repro/internal/geom"
+	"repro/internal/harness"
+	"repro/internal/pagestore"
+	"repro/internal/parallel"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/sim"
+	"repro/internal/simarray"
+)
+
+const (
+	benchScale   = 0.08
+	benchQueries = 10
+	benchSeed    = 1998
+)
+
+var printedTables sync.Map
+
+// benchExperiment regenerates one experiment per iteration and prints
+// its table the first time.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opt := harness.Options{Scale: benchScale, Queries: benchQueries, Seed: benchSeed}
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Run(id, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printedTables.LoadOrStore(id, true); !done {
+			fmt.Fprintf(os.Stdout, "\n")
+			tb.Format(os.Stdout)
+		}
+	}
+}
+
+// Figures 8–12 and Tables 3–5 of the paper, plus the DESIGN.md ablations.
+
+func BenchmarkFig8CaliforniaPlaces(b *testing.B) { benchExperiment(b, "fig8-cp") }
+func BenchmarkFig8LongBeach(b *testing.B)        { benchExperiment(b, "fig8-lb") }
+func BenchmarkFig9Gaussian10d(b *testing.B)      { benchExperiment(b, "fig9-sg") }
+func BenchmarkFig9Uniform10d(b *testing.B)       { benchExperiment(b, "fig9-su") }
+func BenchmarkFig10LongBeach(b *testing.B)       { benchExperiment(b, "fig10-lb") }
+func BenchmarkFig10California(b *testing.B)      { benchExperiment(b, "fig10-cp") }
+func BenchmarkFig11K10(b *testing.B)             { benchExperiment(b, "fig11-k10") }
+func BenchmarkFig11K100(b *testing.B)            { benchExperiment(b, "fig11-k100") }
+func BenchmarkFig12Lambda1(b *testing.B)         { benchExperiment(b, "fig12-l1") }
+func BenchmarkFig12Lambda20(b *testing.B)        { benchExperiment(b, "fig12-l20") }
+func BenchmarkTable3Scaleup(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4QuerySize(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkTable5Qualitative(b *testing.B)    { benchExperiment(b, "table5") }
+
+func BenchmarkAblationDeclustering(b *testing.B)    { benchExperiment(b, "abl-decl") }
+func BenchmarkAblationEpsilonSeries(b *testing.B)   { benchExperiment(b, "abl-eps") }
+func BenchmarkAblationActivationBound(b *testing.B) { benchExperiment(b, "abl-act") }
+func BenchmarkAblationCache(b *testing.B)           { benchExperiment(b, "abl-cache") }
+func BenchmarkAblationSRTree(b *testing.B)          { benchExperiment(b, "abl-sr") }
+func BenchmarkAblationRAID1(b *testing.B)           { benchExperiment(b, "abl-raid1") }
+func BenchmarkAblationAnalyticModel(b *testing.B)   { benchExperiment(b, "abl-model") }
+func BenchmarkAblationBestFirst(b *testing.B)       { benchExperiment(b, "abl-bf") }
+func BenchmarkKNNBestFirst(b *testing.B)            { benchKNN(b, query.BFSS{}, 10) }
+func BenchmarkAblationPacking(b *testing.B)         { benchExperiment(b, "abl-pack") }
+func BenchmarkAblationCPUs(b *testing.B)            { benchExperiment(b, "abl-cpu") }
+func BenchmarkAblationXTree(b *testing.B)           { benchExperiment(b, "abl-xtree") }
+func BenchmarkAblationRangeQueries(b *testing.B)    { benchExperiment(b, "abl-range") }
+
+func BenchmarkBulkLoadSTR(b *testing.B) {
+	pts := dataset.Uniform(20000, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := rtree.New(rtree.Config{Dim: 2, MaxEntries: 92}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items := make([]rtree.Entry, len(pts))
+		for j, p := range pts {
+			items[j] = rtree.LeafEntry(geom.PointRect(p), rtree.ObjectID(j))
+		}
+		if err := tr.BulkLoadSTR(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------------
+// Micro-benchmarks for the building blocks.
+
+func BenchmarkGeomMinDist(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	p := make(geom.Point, 10)
+	lo := make(geom.Point, 10)
+	hi := make(geom.Point, 10)
+	for d := 0; d < 10; d++ {
+		p[d] = rnd.Float64()
+		lo[d] = rnd.Float64() * 0.5
+		hi[d] = lo[d] + rnd.Float64()*0.5
+	}
+	r := geom.Rect{Lo: lo, Hi: hi}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geom.MinDistSq(p, r)
+	}
+}
+
+func BenchmarkGeomMinMaxDist(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	p := make(geom.Point, 10)
+	lo := make(geom.Point, 10)
+	hi := make(geom.Point, 10)
+	for d := 0; d < 10; d++ {
+		p[d] = rnd.Float64()
+		lo[d] = rnd.Float64() * 0.5
+		hi[d] = lo[d] + rnd.Float64()*0.5
+	}
+	r := geom.Rect{Lo: lo, Hi: hi}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geom.MinMaxDistSq(p, r)
+	}
+}
+
+func BenchmarkRStarInsert2D(b *testing.B) {
+	pts := dataset.Uniform(b.N, 2, 1)
+	tr, err := rtree.New(rtree.Config{Dim: 2, MaxEntries: 92}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.InsertPoint(pts[i], rtree.ObjectID(i))
+	}
+}
+
+func BenchmarkRStarInsert10D(b *testing.B) {
+	pts := dataset.Uniform(b.N, 10, 1)
+	tr, err := rtree.New(rtree.Config{Dim: 10, MaxEntries: 23}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.InsertPoint(pts[i], rtree.ObjectID(i))
+	}
+}
+
+// knnTree builds a shared tree for the per-algorithm k-NN benches.
+var knnTreeOnce sync.Once
+var knnTree *parallel.Tree
+var knnQueries []geom.Point
+
+func knnSetup(b *testing.B) {
+	knnTreeOnce.Do(func() {
+		pts := dataset.CaliforniaLike(20000, 3)
+		t, err := parallel.New(parallel.Config{
+			Dim: 2, NumDisks: 10, Cylinders: disk.HPC2200A().Cylinders,
+			Policy: decluster.ProximityIndex{}, Seed: 3,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := t.BuildPoints(pts); err != nil {
+			panic(err)
+		}
+		knnTree = t
+		knnQueries = dataset.SampleQueries(pts, 256, 4)
+	})
+	if knnTree == nil {
+		b.Fatal("knn tree setup failed")
+	}
+}
+
+func benchKNN(b *testing.B, alg query.Algorithm, k int) {
+	b.Helper()
+	knnSetup(b)
+	d := query.Driver{Tree: knnTree}
+	b.ResetTimer()
+	var visited int
+	for i := 0; i < b.N; i++ {
+		_, stats := d.Run(alg, knnQueries[i%len(knnQueries)], k, query.Options{})
+		visited += stats.NodesVisited
+	}
+	b.ReportMetric(float64(visited)/float64(b.N), "nodes/query")
+}
+
+func BenchmarkKNNBBSS(b *testing.B)   { benchKNN(b, query.BBSS{}, 10) }
+func BenchmarkKNNFPSS(b *testing.B)   { benchKNN(b, query.FPSS{}, 10) }
+func BenchmarkKNNCRSS(b *testing.B)   { benchKNN(b, query.CRSS{}, 10) }
+func BenchmarkKNNWOPTSS(b *testing.B) { benchKNN(b, query.WOPTSS{}, 10) }
+
+func BenchmarkPageCodecEncode(b *testing.B) {
+	c := pagestore.Codec{Dim: 2, PageSize: 4096}
+	n := &rtree.Node{ID: 1, Level: 0}
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < c.Capacity(); i++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		n.Entries = append(n.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{x, y}), rtree.ObjectID(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimKernelEvents(b *testing.B) {
+	s := sim.New()
+	st := sim.NewStation(s, "d")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Submit(0.001, nil)
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkSimulatedWorkload(b *testing.B) {
+	knnSetup(b)
+	qs := knnQueries[:32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := simarray.MeanResponseOf(knnTree, simarray.Config{Seed: 1}, simarray.Workload{
+			Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

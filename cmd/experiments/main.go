@@ -1,0 +1,75 @@
+// Command experiments regenerates the figures and tables of the paper's
+// evaluation (Section 4) and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig8-cp
+//	experiments -exp all -scale 0.1 -queries 20
+//
+// At -scale 1 (default) the populations match the paper; smaller scales
+// shrink the data sets and query counts proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		exp     = flag.String("exp", "", "experiment id, or \"all\"")
+		list    = flag.Bool("list", false, "list experiment ids")
+		scale   = flag.Float64("scale", 1.0, "population scale relative to the paper")
+		queries = flag.Int("queries", 0, "queries per measured point (0 = 100×scale)")
+		seed    = flag.Int64("seed", 1998, "experiment seed")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, r := range harness.Experiments() {
+			fmt.Printf("  %-11s %s\n", r.ID, r.Description)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opt := harness.Options{Scale: *scale, Queries: *queries, Seed: *seed}
+	if *exp == "all" {
+		for _, r := range harness.Experiments() {
+			runOne(r.ID, opt, *csvOut)
+		}
+		return
+	}
+	runOne(*exp, opt, *csvOut)
+}
+
+func runOne(id string, opt harness.Options, csvOut bool) {
+	start := time.Now()
+	tb, err := harness.Run(id, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csvOut {
+		fmt.Printf("# %s — %s\n", tb.ID, tb.Title)
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		return
+	}
+	tb.Format(os.Stdout)
+	fmt.Printf("  [%s in %.1fs]\n\n", id, time.Since(start).Seconds())
+}

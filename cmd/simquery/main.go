@@ -1,0 +1,141 @@
+// Command simquery builds a parallel R*-tree over a data set and runs a
+// single k-NN query with any of the paper's algorithms, printing the
+// answers, the access statistics and (with -timing) the simulated
+// response time on the disk array.
+//
+// Usage:
+//
+//	simquery -set california -disks 10 -k 10 -alg crss
+//	simquery -file data.bin -disks 5 -k 100 -alg bbss -timing
+//	simquery -set gaussian -n 20000 -dim 5 -k 20 -alg all -timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simquery: ")
+
+	var (
+		set    = flag.String("set", "gaussian", "data set name (see datagen)")
+		file   = flag.String("file", "", "load data from a datagen file instead")
+		n      = flag.Int("n", 10000, "population for generated sets")
+		dim    = flag.Int("dim", 2, "dimensionality for generated sets")
+		disks  = flag.Int("disks", 10, "number of disks in the array")
+		policy = flag.String("policy", "proximity", "declustering policy")
+		k      = flag.Int("k", 10, "number of nearest neighbors")
+		alg    = flag.String("alg", "crss", "algorithm: bbss|fpss|crss|woptss|bfss|eps-series|all")
+		seed   = flag.Int64("seed", 1, "seed for data, placement and simulation")
+		timing = flag.Bool("timing", false, "also simulate the response time on the array")
+		sr     = flag.Bool("sr", false, "use the SR-tree access-method variant")
+		trace  = flag.Bool("trace", false, "print the algorithm's stage-by-stage trace (CRSS shows its ADAPTIVE/UPDATE/NORMAL/TERMINATE modes)")
+		qspec  = flag.String("q", "", "query point as comma-separated coordinates (default: sampled)")
+	)
+	flag.Parse()
+
+	pts, err := loadPoints(*file, *set, *n, *dim, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := pts[0].Dim()
+
+	ix, err := core.NewIndex(core.IndexConfig{
+		Dim: d, NumDisks: *disks, Policy: *policy, Seed: *seed, UseSpheres: *sr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.InsertAll(pts, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d points (%d-d) on %d disks, policy %s, %d pages\n",
+		ix.Len(), d, *disks, *policy, ix.Tree().Store().Len())
+
+	var q geom.Point
+	if *qspec != "" {
+		if q, err = parsePoint(*qspec, d); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		q = dataset.SampleQueries(pts, 1, *seed+5)[0]
+	}
+	fmt.Printf("query: %s, k = %d\n\n", q, *k)
+
+	algs := []string{*alg}
+	if *alg == "all" {
+		algs = core.Algorithms()
+	}
+	for _, name := range algs {
+		var res []core.Neighbor
+		var stats *core.QueryStats
+		var err error
+		if *trace {
+			res, stats, err = ix.KNNTraced(q, *k, name, func(line string) {
+				fmt.Printf("    | %s\n", line)
+			})
+		} else {
+			res, stats, err = ix.KNN(q, *k, name)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] visited %d nodes in %d parallel batches (max batch %d, CPU %.0f instr)\n",
+			name, stats.NodesVisited, stats.Batches, stats.MaxParallel, stats.Instructions)
+		for i, r := range res {
+			if i >= 5 {
+				fmt.Printf("  ... %d more\n", len(res)-5)
+				break
+			}
+			fmt.Printf("  #%d object %d at distance %.6f\n", i+1, r.Object, math.Sqrt(r.DistSq))
+		}
+		if *timing {
+			run, err := ix.Simulate(core.SimulatedWorkload{Algorithm: name, K: *k, Queries: []geom.Point{q}})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  simulated response time: %.4f sec\n", run.MeanResponse)
+		}
+		fmt.Println()
+	}
+}
+
+func loadPoints(file, set string, n, dim int, seed int64) ([]geom.Point, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.Load(f)
+	}
+	return dataset.ByName(set, n, dim, seed)
+}
+
+func parsePoint(spec string, dim int) (geom.Point, error) {
+	var p geom.Point
+	start := 0
+	for i := 0; i <= len(spec); i++ {
+		if i == len(spec) || spec[i] == ',' {
+			var v float64
+			if _, err := fmt.Sscanf(spec[start:i], "%g", &v); err != nil {
+				return nil, fmt.Errorf("bad coordinate %q", spec[start:i])
+			}
+			p = append(p, v)
+			start = i + 1
+		}
+	}
+	if p.Dim() != dim {
+		return nil, fmt.Errorf("query has %d coordinates, data is %d-d", p.Dim(), dim)
+	}
+	return p, nil
+}

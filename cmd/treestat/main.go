@@ -1,0 +1,180 @@
+// Command treestat builds a parallel R*-tree over a data set and prints
+// its structure, fill factors, page-to-disk distribution and invariant /
+// page-shadow audit results — the tool to inspect what the declustering
+// policies actually do.
+//
+// Usage:
+//
+//	treestat -set california -disks 10
+//	treestat -set gaussian -n 60000 -dim 10 -disks 10 -policy roundrobin
+//	treestat -set longbeach -disks 8 -save lb.tree
+//	treestat -load lb.tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/decluster"
+	"repro/internal/disk"
+	"repro/internal/pagestore"
+	"repro/internal/parallel"
+	"repro/internal/rtree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("treestat: ")
+
+	var (
+		set      = flag.String("set", "gaussian", "data set name")
+		n        = flag.Int("n", 10000, "population")
+		dim      = flag.Int("dim", 2, "dimensionality")
+		disks    = flag.Int("disks", 10, "number of disks")
+		policy   = flag.String("policy", "proximity", "declustering policy")
+		pageSize = flag.Int("page", 4096, "page size in bytes")
+		seed     = flag.Int64("seed", 1, "seed")
+		spheres  = flag.Bool("sr", false, "build the SR-tree variant (bounding spheres)")
+		packed   = flag.Bool("packed", false, "bulk-load with STR packing instead of inserting")
+		saveTo   = flag.String("save", "", "write a snapshot of the built tree to this file")
+		loadFrom = flag.String("load", "", "load a snapshot instead of building")
+	)
+	flag.Parse()
+
+	var tree *parallel.Tree
+	var treeDim int
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err = parallel.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		treeDim = tree.Config().Dim
+		*set = "(snapshot " + *loadFrom + ")"
+		*pageSize = snapshotPage(tree)
+	} else {
+		pts, err := dataset.ByName(*set, *n, *dim, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol, err := decluster.ByName(*policy, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err = parallel.New(parallel.Config{
+			Dim:        pts[0].Dim(),
+			NumDisks:   *disks,
+			Cylinders:  disk.HPC2200A().Cylinders,
+			PageSize:   *pageSize,
+			Policy:     pol,
+			Seed:       *seed,
+			UseSpheres: *spheres,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *packed {
+			err = tree.BuildPointsPacked(pts)
+		} else {
+			err = tree.BuildPoints(pts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		treeDim = pts[0].Dim()
+	}
+
+	st := tree.ComputeStats()
+	fmt.Printf("set %s: %d points, %d-d, page %dB (capacity %d entries)\n",
+		*set, st.Objects, treeDim, *pageSize, tree.Config().MaxEntries)
+	fmt.Printf("height %d, %d nodes (%d leaves, %d internal)\n", st.Height, st.Nodes, st.Leaves, st.Internal)
+	fmt.Printf("fill: leaves %.1f%%, directory %.1f%%\n", st.AvgLeafFill*100, st.AvgDirFill*100)
+
+	// Per-level node counts.
+	perLevel := map[int]int{}
+	tree.Walk(func(nd *rtree.Node, _ int) bool {
+		perLevel[nd.Level]++
+		return true
+	})
+	for l := st.Height - 1; l >= 0; l-- {
+		fmt.Printf("  level %d: %d nodes\n", l, perLevel[l])
+	}
+
+	d := tree.Distribution()
+	fmt.Printf("\npolicy %s: pages per disk (imbalance %.3f):\n", *policy, d.Imbalance)
+	maxPages := 0
+	for _, c := range d.Pages {
+		if c > maxPages {
+			maxPages = c
+		}
+	}
+	for i, c := range d.Pages {
+		bar := ""
+		if maxPages > 0 {
+			bar = strings.Repeat("#", c*40/maxPages)
+		}
+		fmt.Printf("  disk %2d: %5d %s\n", i, c, bar)
+	}
+
+	if err := tree.Tree.CheckInvariants(); err != nil {
+		log.Fatalf("INVARIANT VIOLATION: %v", err)
+	}
+	if err := tree.CheckPlacements(); err != nil {
+		log.Fatalf("PLACEMENT VIOLATION: %v", err)
+	}
+	fmt.Println("\ninvariants: OK (MBRs, counts, balance, fill, placements)")
+
+	// Page-codec audit: every node must round-trip through a page image.
+	codec := pagestore.Codec{Dim: treeDim, PageSize: *pageSize, Spheres: tree.Config().UseSpheres}
+	pages := 0
+	var bad error
+	tree.Walk(func(nd *rtree.Node, _ int) bool {
+		buf, err := codec.Encode(nd)
+		if err != nil {
+			bad = err
+			return false
+		}
+		if _, err := codec.Decode(buf); err != nil {
+			bad = err
+			return false
+		}
+		pages++
+		return true
+	})
+	if bad != nil {
+		log.Fatalf("PAGE CODEC VIOLATION: %v", bad)
+	}
+	fmt.Printf("page codec: OK (%d nodes fit %dB pages)\n", pages, *pageSize)
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tree.Snapshot(f); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := f.Stat()
+		f.Close()
+		fmt.Printf("snapshot: wrote %s (%d bytes)\n", *saveTo, info.Size())
+	}
+}
+
+// snapshotPage reports a page size compatible with a loaded tree's
+// capacity for the codec audit.
+func snapshotPage(t *parallel.Tree) int {
+	cfg := t.Config()
+	c := pagestore.Codec{Dim: cfg.Dim, PageSize: cfg.PageSize, Spheres: cfg.UseSpheres}
+	if cfg.PageSize > 0 && c.Capacity() >= cfg.MaxEntries {
+		return cfg.PageSize
+	}
+	return 16 + c.EntrySize()*cfg.MaxEntries
+}

@@ -1,0 +1,188 @@
+// Package analytic derives closed-form estimates for similarity search
+// on disk arrays — the paper's first "future research" item: "the
+// derivation and exploitation of analytical results in similarity
+// search for disk arrays, estimating the response time of a query".
+//
+// The model assumes n points uniform in the unit hypercube (the paper's
+// SU family; the same machinery under a density transform covers
+// clustered data, see [2, 7, 24] of the paper):
+//
+//  1. Expected k-NN sphere radius: the ball around the query expected
+//     to contain k of n points: n·Vol_d(r) = k.
+//  2. Expected page accesses: for each tree level, the number of nodes
+//     whose (cube-shaped, in expectation) MBR intersects that ball —
+//     the Minkowski-sum probability (Berchtold/Böhm/Keim/Kriegel, PODS
+//     1997, adapted). This estimates WOPTSS, the floor any algorithm
+//     approaches.
+//  3. Expected response time: the accesses fan out over D disk queues;
+//     stages are sequential per level; an M/M/1-style inflation factor
+//     models the multi-user arrival rate λ.
+//
+// Every estimator is validated against the event-driven simulator in
+// the package tests (within documented tolerance — these are first-
+// order models, not exact formulas).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/disk"
+)
+
+// UnitBallVolume returns the volume of the d-dimensional unit ball:
+// π^(d/2) / Γ(d/2 + 1).
+func UnitBallVolume(d int) float64 {
+	return math.Pow(math.Pi, float64(d)/2) / math.Gamma(float64(d)/2+1)
+}
+
+// ExpectedKNNRadius returns the radius of the ball expected to contain
+// k of n uniform points in [0,1]^d (boundary effects ignored).
+func ExpectedKNNRadius(n, k, d int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	frac := float64(k) / float64(n)
+	if frac > 1 {
+		frac = 1
+	}
+	return math.Pow(frac/UnitBallVolume(d), 1/float64(d))
+}
+
+// CubeSphereIntersectProb returns the probability that a cube of side s
+// (uniformly positioned in the unit cube) intersects a ball of radius r
+// at a random location: the volume of the Minkowski sum of the cube and
+// the ball,
+//
+//	Σ_{i=0..d} C(d,i) · s^(d-i) · V_i · r^i,
+//
+// clipped to 1 (V_i = volume of the i-dimensional unit ball).
+func CubeSphereIntersectProb(s, r float64, d int) float64 {
+	sum := 0.0
+	choose := 1.0
+	for i := 0; i <= d; i++ {
+		sum += choose * math.Pow(s, float64(d-i)) * UnitBallVolume(i) * math.Pow(r, float64(i))
+		choose = choose * float64(d-i) / float64(i+1)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// TreeModel is the expectation-level shape of an R*-tree over uniform
+// data: node counts and expected MBR side length per level.
+type TreeModel struct {
+	N          int // data points
+	Dim        int
+	Fanout     float64   // effective fanout (capacity × fill factor)
+	Height     int       // number of levels, 1 = root only
+	LevelNodes []int     // nodes per level, index 0 = leaves
+	LevelSide  []float64 // expected MBR side per level, index 0 = leaves
+}
+
+// ModelTree builds the expectation model for n uniform points indexed
+// with the given node capacity and fill factor (R*-trees settle around
+// 70% occupancy; pass 0 for that default).
+func ModelTree(n, dim, capacity int, fill float64) (TreeModel, error) {
+	if n <= 0 || dim <= 0 || capacity < 2 {
+		return TreeModel{}, fmt.Errorf("analytic: invalid tree model n=%d dim=%d capacity=%d", n, dim, capacity)
+	}
+	if fill == 0 {
+		fill = 0.7
+	}
+	if fill <= 0 || fill > 1 {
+		return TreeModel{}, fmt.Errorf("analytic: fill %g out of (0,1]", fill)
+	}
+	m := TreeModel{N: n, Dim: dim, Fanout: float64(capacity) * fill}
+	nodes := int(math.Ceil(float64(n) / m.Fanout))
+	for {
+		m.LevelNodes = append(m.LevelNodes, nodes)
+		// A level's nodes tile the data space: each covers 1/nodes of
+		// the volume, so its expected side is (1/nodes)^(1/d).
+		m.LevelSide = append(m.LevelSide, math.Pow(1/float64(nodes), 1/float64(dim)))
+		if nodes == 1 {
+			break
+		}
+		nodes = int(math.Ceil(float64(nodes) / m.Fanout))
+	}
+	m.Height = len(m.LevelNodes)
+	return m, nil
+}
+
+// ExpectedNodeAccesses estimates the pages a weak-optimal k-NN search
+// reads: per level, nodes × P(MBR intersects the k-NN ball). This is
+// the analytic counterpart of WOPTSS (and the floor CRSS approaches).
+func (m TreeModel) ExpectedNodeAccesses(k int) float64 {
+	r := ExpectedKNNRadius(m.N, k, m.Dim)
+	total := 0.0
+	for l := 0; l < m.Height; l++ {
+		p := CubeSphereIntersectProb(m.LevelSide[l], r, m.Dim)
+		exp := float64(m.LevelNodes[l]) * p
+		if exp > float64(m.LevelNodes[l]) {
+			exp = float64(m.LevelNodes[l])
+		}
+		if exp < 1 {
+			exp = 1 // the search always touches one node per level
+		}
+		total += exp
+	}
+	return total
+}
+
+// SystemModel carries the hardware expectations for response-time
+// estimation.
+type SystemModel struct {
+	Disks        int
+	MeanService  float64 // expected disk service time per page (s)
+	BusTime      float64 // per-page bus time (s)
+	Startup      float64 // query startup (s)
+	CPUPerAccess float64 // CPU seconds charged per page processed
+}
+
+// MeanDiskService returns the expected service time of one page read on
+// a drive whose requests land on uniformly random cylinders: the mean
+// seek over a uniform pair of cylinders (≈ C/3 distance), half a
+// rotation, the transfer and the controller overhead.
+func MeanDiskService(p disk.Params) float64 {
+	meanSeekDist := float64(p.Cylinders) / 3
+	return p.SeekTime(int(meanSeekDist)) + p.AverageRotationalLatency() +
+		p.TransferTime + p.ControllerOverhead
+}
+
+// DefaultSystem builds the paper's hardware model for a D-disk array.
+func DefaultSystem(disks int) SystemModel {
+	p := disk.HPC2200A()
+	return SystemModel{
+		Disks:        disks,
+		MeanService:  MeanDiskService(p),
+		BusTime:      float64(p.BlockSize) / 10e6,
+		Startup:      0.001,
+		CPUPerAccess: 100.0 * 3 / (100 * 1e6), // ~entries scanned per page at 100 MIPS; small
+	}
+}
+
+// ExpectedResponse estimates the mean response time of a k-NN query
+// that reads `accesses` pages through `height` sequential stages, under
+// a Poisson arrival rate λ:
+//
+//	service  = startup + height · (ceil(perStage/D) · T_disk + T_bus)
+//	ρ        = λ · accesses · T_disk / D      (per-disk utilization)
+//	response = startup + queueing-inflated disk time
+//
+// The inflation uses the M/M/1 waiting-time factor 1/(1-ρ) applied to
+// the disk component. Saturated systems (ρ ≥ 1) return +Inf.
+func (s SystemModel) ExpectedResponse(accesses float64, height int, lambda float64) float64 {
+	if s.Disks <= 0 || accesses <= 0 || height <= 0 {
+		return 0
+	}
+	perStage := accesses / float64(height)
+	stageDisk := math.Ceil(perStage/float64(s.Disks)) * s.MeanService
+	base := float64(height) * (stageDisk + s.BusTime + perStage*s.CPUPerAccess)
+
+	rho := lambda * accesses * s.MeanService / float64(s.Disks)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return s.Startup + base/(1-rho)
+}

@@ -1,0 +1,209 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/decluster"
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/query"
+	"repro/internal/simarray"
+)
+
+func TestUnitBallVolume(t *testing.T) {
+	cases := []struct {
+		d    int
+		want float64
+	}{
+		{0, 1},
+		{1, 2},
+		{2, math.Pi},
+		{3, 4 * math.Pi / 3},
+	}
+	for _, c := range cases {
+		if got := UnitBallVolume(c.d); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("V_%d = %g, want %g", c.d, got, c.want)
+		}
+	}
+}
+
+func TestExpectedKNNRadiusMatchesEmpirical(t *testing.T) {
+	// On uniform data the analytic radius must be close to the observed
+	// mean k-th neighbor distance.
+	for _, tc := range []struct {
+		n, k, d int
+	}{
+		{20000, 10, 2},
+		{20000, 100, 2},
+		{10000, 10, 5},
+	} {
+		pts := dataset.Uniform(tc.n, tc.d, 7)
+		queries := dataset.SampleQueries(pts, 40, 8)
+		var sum float64
+		for _, q := range queries {
+			sum += math.Sqrt(bruteforce.KthDistSq(pts, q, tc.k))
+		}
+		empirical := sum / float64(len(queries))
+		predicted := ExpectedKNNRadius(tc.n, tc.k, tc.d)
+		ratio := predicted / empirical
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("n=%d k=%d d=%d: predicted r %.5f vs empirical %.5f (ratio %.2f)",
+				tc.n, tc.k, tc.d, predicted, empirical, ratio)
+		}
+	}
+}
+
+func TestExpectedKNNRadiusEdgeCases(t *testing.T) {
+	if ExpectedKNNRadius(0, 5, 2) != 0 || ExpectedKNNRadius(10, 0, 2) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	// k = n covers (roughly) everything: radius near the ball with
+	// volume 1.
+	r := ExpectedKNNRadius(100, 100, 2)
+	want := math.Pow(1/UnitBallVolume(2), 0.5)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("full radius = %g, want %g", r, want)
+	}
+}
+
+func TestCubeSphereIntersectProb(t *testing.T) {
+	// r = 0: probability is the cube volume.
+	if got := CubeSphereIntersectProb(0.5, 0, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("r=0 prob = %g, want 0.25", got)
+	}
+	// s = 0: probability is the ball volume.
+	if got := CubeSphereIntersectProb(0, 0.1, 2); math.Abs(got-math.Pi*0.01) > 1e-12 {
+		t.Errorf("s=0 prob = %g", got)
+	}
+	// Large arguments clip at 1.
+	if got := CubeSphereIntersectProb(2, 2, 3); got != 1 {
+		t.Errorf("clip failed: %g", got)
+	}
+	// Monotone in both arguments.
+	p1 := CubeSphereIntersectProb(0.1, 0.1, 4)
+	p2 := CubeSphereIntersectProb(0.2, 0.1, 4)
+	p3 := CubeSphereIntersectProb(0.1, 0.2, 4)
+	if p2 <= p1 || p3 <= p1 {
+		t.Errorf("not monotone: %g %g %g", p1, p2, p3)
+	}
+}
+
+func TestModelTreeShape(t *testing.T) {
+	m, err := ModelTree(60000, 2, 92, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Height < 2 || m.Height > 4 {
+		t.Errorf("modeled height %d implausible", m.Height)
+	}
+	if m.LevelNodes[m.Height-1] != 1 {
+		t.Error("root level must have one node")
+	}
+	for l := 1; l < m.Height; l++ {
+		if m.LevelNodes[l] > m.LevelNodes[l-1] {
+			t.Error("node counts must shrink upward")
+		}
+		if m.LevelSide[l] < m.LevelSide[l-1] {
+			t.Error("MBR side must grow upward")
+		}
+	}
+	if _, err := ModelTree(0, 2, 92, 0); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := ModelTree(10, 2, 92, 1.5); err == nil {
+		t.Error("accepted fill > 1")
+	}
+}
+
+// The headline validation: analytic node accesses and response times
+// track the simulator on uniform data within documented tolerance.
+func TestAnalyticTracksSimulation(t *testing.T) {
+	const n, dim, disks = 20000, 2, 10
+	pts := dataset.Uniform(n, dim, 9)
+	tree, err := parallel.New(parallel.Config{
+		Dim: dim, NumDisks: disks, Cylinders: disk.HPC2200A().Cylinders,
+		Policy: decluster.ProximityIndex{}, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BuildPoints(pts); err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.SampleQueries(pts, 30, 10)
+	capacity := tree.Config().MaxEntries
+
+	model, err := ModelTree(n, dim, capacity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := DefaultSystem(disks)
+
+	d := query.Driver{Tree: tree}
+	for _, k := range []int{10, 100} {
+		// Measured WOPTSS accesses.
+		var acc []float64
+		for _, q := range queries {
+			_, s := d.Run(query.WOPTSS{}, q, k, query.Options{})
+			acc = append(acc, float64(s.NodesVisited))
+		}
+		measured := metrics.Mean(acc)
+		predicted := model.ExpectedNodeAccesses(k)
+		ratio := predicted / measured
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("k=%d: predicted accesses %.1f vs measured %.1f (ratio %.2f)",
+				k, predicted, measured, ratio)
+		}
+
+		// Response at light load: within 3x of the simulator.
+		mean, err := simarray.MeanResponseOf(tree, simarray.Config{Seed: 9}, simarray.Workload{
+			Algorithm: query.WOPTSS{}, K: k, Queries: queries, ArrivalRate: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := sys.ExpectedResponse(predicted, model.Height, 1)
+		rr := est / mean
+		if rr < 1.0/3 || rr > 3 {
+			t.Errorf("k=%d: predicted response %.4f vs simulated %.4f (ratio %.2f)",
+				k, est, mean, rr)
+		}
+	}
+}
+
+func TestExpectedResponseShape(t *testing.T) {
+	sys := DefaultSystem(10)
+	light := sys.ExpectedResponse(20, 3, 1)
+	heavy := sys.ExpectedResponse(20, 3, 15)
+	if light <= 0 || heavy <= light {
+		t.Errorf("response not increasing with load: %.4f vs %.4f", light, heavy)
+	}
+	// Saturation → +Inf.
+	if !math.IsInf(sys.ExpectedResponse(1000, 3, 100), 1) {
+		t.Error("saturated system must predict Inf")
+	}
+	// More disks → faster at equal load.
+	few := DefaultSystem(5).ExpectedResponse(40, 3, 2)
+	many := DefaultSystem(20).ExpectedResponse(40, 3, 2)
+	if many >= few {
+		t.Errorf("more disks not faster: %g vs %g", many, few)
+	}
+	if sys.ExpectedResponse(0, 3, 1) != 0 {
+		t.Error("zero accesses should cost 0")
+	}
+}
+
+func TestMeanDiskService(t *testing.T) {
+	p := disk.HPC2200A()
+	got := MeanDiskService(p)
+	// Must sit between the no-seek service and the max-seek service.
+	min := p.AverageRotationalLatency() + p.TransferTime + p.ControllerOverhead
+	max := p.SeekTime(p.Cylinders-1) + p.RevolutionTime + p.TransferTime + p.ControllerOverhead
+	if got <= min || got >= max {
+		t.Errorf("mean service %.5f outside (%.5f, %.5f)", got, min, max)
+	}
+}

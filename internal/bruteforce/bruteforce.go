@@ -1,0 +1,66 @@
+// Package bruteforce provides linear-scan exact similarity search. It is
+// the independent ground truth against which every tree-based algorithm
+// is validated, and the oracle that supplies the k-th neighbor distance
+// Dk to the hypothetical weak-optimal algorithm WOPTSS (paper §3.4),
+// which assumes Dk is known in advance.
+package bruteforce
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Result is one neighbor: the point's index in the data slice and its
+// squared distance to the query.
+type Result struct {
+	Index  int
+	DistSq float64
+}
+
+// KNN returns the k nearest points to q by Euclidean distance, ordered
+// by increasing distance (ties by index for determinism). When k exceeds
+// the population, all points are returned.
+func KNN(pts []geom.Point, q geom.Point, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	rs := make([]Result, len(pts))
+	for i, p := range pts {
+		rs[i] = Result{Index: i, DistSq: q.DistSq(p)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].DistSq != rs[j].DistSq {
+			return rs[i].DistSq < rs[j].DistSq
+		}
+		return rs[i].Index < rs[j].Index
+	})
+	if k > len(rs) {
+		k = len(rs)
+	}
+	return rs[:k]
+}
+
+// KthDistSq returns the squared distance from q to its k-th nearest
+// point — the radius the weak-optimal algorithm is given for free. It
+// returns 0 when the data set is empty.
+func KthDistSq(pts []geom.Point, q geom.Point, k int) float64 {
+	rs := KNN(pts, q, k)
+	if len(rs) == 0 {
+		return 0
+	}
+	return rs[len(rs)-1].DistSq
+}
+
+// Range returns the indices of all points within distance eps of q,
+// in index order.
+func Range(pts []geom.Point, q geom.Point, eps float64) []int {
+	epsSq := eps * eps
+	var out []int
+	for i, p := range pts {
+		if q.DistSq(p) <= epsSq {
+			out = append(out, i)
+		}
+	}
+	return out
+}

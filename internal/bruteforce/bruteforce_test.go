@@ -1,0 +1,97 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestKNNSmall(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 0}, {3, 0}, {10, 0}}
+	got := KNN(pts, geom.Point{0.9, 0}, 2)
+	if len(got) != 2 || got[0].Index != 1 || got[1].Index != 0 {
+		t.Errorf("got %+v", got)
+	}
+	if KNN(pts, geom.Point{0, 0}, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if n := len(KNN(pts, geom.Point{0, 0}, 100)); n != 4 {
+		t.Errorf("k>n returned %d", n)
+	}
+}
+
+func TestKNNTieBreaksByIndex(t *testing.T) {
+	pts := []geom.Point{{1, 0}, {-1, 0}, {0, 1}}
+	got := KNN(pts, geom.Point{0, 0}, 3)
+	for i := 1; i < 3; i++ {
+		if got[i].DistSq != got[i-1].DistSq {
+			t.Fatal("expected all equidistant")
+		}
+	}
+	if got[0].Index != 0 || got[1].Index != 1 || got[2].Index != 2 {
+		t.Errorf("tie order: %+v", got)
+	}
+}
+
+func TestKthDistSq(t *testing.T) {
+	pts := []geom.Point{{1, 0}, {2, 0}, {3, 0}}
+	if d := KthDistSq(pts, geom.Point{0, 0}, 2); d != 4 {
+		t.Errorf("KthDistSq = %g, want 4", d)
+	}
+	if d := KthDistSq(nil, geom.Point{0, 0}, 2); d != 0 {
+		t.Errorf("empty KthDistSq = %g", d)
+	}
+}
+
+func TestRange(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 0}, {2, 0}, {5, 0}}
+	got := Range(pts, geom.Point{0, 0}, 2)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("Range = %v", got)
+	}
+}
+
+// Property: KNN results are sorted, distances correct, and the k-th
+// distance bounds exactly k points (modulo ties).
+func TestKNNProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 50 + rnd.Intn(100)
+		k := int(kRaw)%n + 1
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{rnd.Float64(), rnd.Float64(), rnd.Float64()}
+		}
+		q := geom.Point{rnd.Float64(), rnd.Float64(), rnd.Float64()}
+		rs := KNN(pts, q, k)
+		if len(rs) != k {
+			return false
+		}
+		for i, r := range rs {
+			if r.DistSq != q.DistSq(pts[r.Index]) {
+				return false
+			}
+			if i > 0 && rs[i-1].DistSq > r.DistSq {
+				return false
+			}
+		}
+		// Every point not in the result set must be at least as far as
+		// the k-th.
+		in := map[int]bool{}
+		for _, r := range rs {
+			in[r.Index] = true
+		}
+		kth := rs[k-1].DistSq
+		for i, p := range pts {
+			if !in[i] && q.DistSq(p) < kth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

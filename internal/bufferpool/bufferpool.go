@@ -1,0 +1,118 @@
+// Package bufferpool provides a small LRU page cache with hit/miss
+// accounting. The query executors use it to model memory-resident
+// directory pages: the paper's multiplexed R*-tree keeps the root at the
+// CPU, and caching further directory levels is a natural extension
+// studied by the ablation benchmarks.
+package bufferpool
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Inserts   uint64
+}
+
+// HitRate returns hits / (hits+misses), or 0 when the pool is untouched.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is a fixed-capacity LRU cache from K to V. The zero value is not
+// usable; call New. Pool is not safe for concurrent use — the simulator
+// is single-threaded by construction.
+type Pool[K comparable, V any] struct {
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+	stats    Stats
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a pool that holds at most capacity entries.
+// Capacity must be positive.
+func New[K comparable, V any](capacity int) *Pool[K, V] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("bufferpool: capacity must be positive, got %d", capacity))
+	}
+	return &Pool[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Get looks up key, promoting it to most-recently-used on a hit.
+func (p *Pool[K, V]) Get(key K) (V, bool) {
+	if el, ok := p.items[key]; ok {
+		p.ll.MoveToFront(el)
+		p.stats.Hits++
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	p.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached without touching recency or
+// statistics.
+func (p *Pool[K, V]) Contains(key K) bool {
+	_, ok := p.items[key]
+	return ok
+}
+
+// Put inserts or refreshes key. When the pool is full the least recently
+// used entry is evicted.
+func (p *Pool[K, V]) Put(key K, val V) {
+	if el, ok := p.items[key]; ok {
+		p.ll.MoveToFront(el)
+		el.Value.(*lruEntry[K, V]).val = val
+		return
+	}
+	p.stats.Inserts++
+	el := p.ll.PushFront(&lruEntry[K, V]{key, val})
+	p.items[key] = el
+	if p.ll.Len() > p.capacity {
+		oldest := p.ll.Back()
+		p.ll.Remove(oldest)
+		delete(p.items, oldest.Value.(*lruEntry[K, V]).key)
+		p.stats.Evictions++
+	}
+}
+
+// Remove drops key from the pool if present.
+func (p *Pool[K, V]) Remove(key K) {
+	if el, ok := p.items[key]; ok {
+		p.ll.Remove(el)
+		delete(p.items, key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (p *Pool[K, V]) Len() int { return p.ll.Len() }
+
+// Capacity returns the configured maximum size.
+func (p *Pool[K, V]) Capacity() int { return p.capacity }
+
+// Stats returns a copy of the traffic counters.
+func (p *Pool[K, V]) Stats() Stats { return p.stats }
+
+// Reset empties the pool and clears statistics.
+func (p *Pool[K, V]) Reset() {
+	p.ll.Init()
+	p.items = make(map[K]*list.Element)
+	p.stats = Stats{}
+}

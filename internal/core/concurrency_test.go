@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestConcurrentReadsAndWrites exercises the index lock: concurrent KNN
+// and RangeSearch readers race with writers; run with -race to verify.
+func TestConcurrentReadsAndWrites(t *testing.T) {
+	ix := newTestIndex(t, 2, 4)
+	pts := dataset.Uniform(3000, 2, 13)
+	if err := ix.InsertAll(pts[:2000], 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// 4 reader goroutines.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qs := dataset.SampleQueries(pts, 30, int64(100+g))
+			for _, q := range qs {
+				if _, _, err := ix.KNN(q, 5, "crss"); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := ix.RangeSearch(q, 0.05); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// 2 writer goroutines inserting disjoint ranges.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := 2000 + g*500
+			for i := 0; i < 500; i++ {
+				if err := ix.Insert(pts[base%3000], ObjectID(10000+base+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := ix.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotLoadIndex(t *testing.T) {
+	ix, err := NewIndex(IndexConfig{Dim: 3, NumDisks: 5, Seed: 21, UseSpheres: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := dataset.Clustered(1500, 3, 8, 22)
+	if err := ix.InsertAll(pts, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() {
+		t.Fatalf("len %d vs %d", loaded.Len(), ix.Len())
+	}
+	q := pts[42]
+	a, _, err := ix.KNN(q, 9, "crss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.KNN(q, 9, "crss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].DistSq != b[i].DistSq {
+			t.Fatal("kNN differs after LoadIndex")
+		}
+	}
+	// The loaded index is fully functional: simulate on it.
+	run, err := loaded.Simulate(SimulatedWorkload{
+		K: 5, Queries: dataset.SampleQueries(pts, 5, 23),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MeanResponse <= 0 {
+		t.Error("loaded index simulation produced no timing")
+	}
+}

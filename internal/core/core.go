@@ -1,0 +1,309 @@
+// Package core is the high-level face of the reproduction: a similarity
+// search index over a simulated disk array, combining the parallel
+// R*-tree, the declustering policies, the four k-NN algorithms of the
+// paper (BBSS, FPSS, CRSS, WOPTSS) and the event-driven system
+// simulator. The module root package re-exports these types for
+// downstream users; the experiment harness and the command-line tools
+// build on the same API.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/bufferpool"
+	"repro/internal/decluster"
+	"repro/internal/disk"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/simarray"
+)
+
+// Re-exported fundamental types.
+type (
+	// Point is an n-dimensional query or data point.
+	Point = geom.Point
+	// Rect is an axis-aligned minimum bounding rectangle.
+	Rect = geom.Rect
+	// ObjectID identifies an indexed object.
+	ObjectID = rtree.ObjectID
+	// Neighbor is one k-NN answer.
+	Neighbor = query.Neighbor
+	// QueryStats counts node accesses, parallel batches and CPU work.
+	QueryStats = query.Stats
+	// RunResult aggregates a simulated multi-user workload run.
+	RunResult = simarray.RunResult
+	// QueryOutcome is the timing record of one simulated query.
+	QueryOutcome = simarray.QueryOutcome
+)
+
+// IndexConfig configures a disk-array similarity index.
+type IndexConfig struct {
+	// Dim is the dimensionality of the indexed points. Required.
+	Dim int
+	// NumDisks is the width of the RAID-0 array. Required.
+	NumDisks int
+	// PageSize is the disk block / tree node size in bytes (default
+	// 4096, the striping unit of the paper).
+	PageSize int
+	// Policy names the declustering heuristic: "proximity" (default,
+	// the paper's choice), "roundrobin", "random", "databalance",
+	// "areabalance" or "minoverlap".
+	Policy string
+	// Seed drives placement and simulation randomness (default 1).
+	Seed int64
+	// UseSpheres selects the SR-tree access-method variant: directory
+	// entries additionally carry centroid bounding spheres (tighter
+	// pruning in high dimensionality, smaller fanout).
+	UseSpheres bool
+}
+
+// Index is a similarity-search index distributed over a simulated disk
+// array. Reads (KNN, RangeSearch, Simulate) may run concurrently;
+// mutations (Insert, Delete) are exclusive — the index guards itself
+// with a readers-writer lock.
+type Index struct {
+	cfg  IndexConfig
+	mu   sync.RWMutex
+	tree *parallel.Tree
+}
+
+// NewIndex creates an empty index.
+func NewIndex(cfg IndexConfig) (*Index, error) {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "proximity"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	pol, err := decluster.ByName(cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t, err := parallel.New(parallel.Config{
+		Dim:        cfg.Dim,
+		NumDisks:   cfg.NumDisks,
+		Cylinders:  disk.HPC2200A().Cylinders,
+		PageSize:   cfg.PageSize,
+		Policy:     pol,
+		Seed:       cfg.Seed,
+		UseSpheres: cfg.UseSpheres,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{cfg: cfg, tree: t}, nil
+}
+
+// Insert adds a point object to the index.
+func (ix *Index) Insert(p Point, id ObjectID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.tree.InsertPoint(p, id)
+}
+
+// InsertAll bulk-inserts points, assigning ObjectIDs from their indices
+// offset by base.
+func (ix *Index) InsertAll(pts []Point, base ObjectID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i, p := range pts {
+		if err := ix.tree.InsertPoint(p, base+ObjectID(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a point object; it reports whether the object existed.
+func (ix *Index) Delete(p Point, id ObjectID) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.tree.DeletePoint(p, id)
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}
+
+// Tree exposes the underlying parallel R*-tree for advanced use
+// (experiments, statistics, custom executors).
+func (ix *Index) Tree() *parallel.Tree { return ix.tree }
+
+// AlgorithmByName resolves one of the paper's algorithms — "bbss",
+// "fpss", "crss" (default recommendation), "woptss" — or the extensions
+// "bfss" (best-first) and "eps-series" (growing range-query baseline).
+func AlgorithmByName(name string) (query.Algorithm, error) {
+	switch name {
+	case "bbss", "BBSS":
+		return query.BBSS{}, nil
+	case "fpss", "FPSS":
+		return query.FPSS{}, nil
+	case "crss", "CRSS", "":
+		return query.CRSS{}, nil
+	case "woptss", "WOPTSS":
+		return query.WOPTSS{}, nil
+	case "bfss", "BFSS", "best-first":
+		return query.BFSS{}, nil
+	case "eps-series", "EPS-SERIES", "epsilon":
+		return query.EpsilonSeries{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", name)
+	}
+}
+
+// Algorithms lists the built-in algorithm names in presentation order.
+func Algorithms() []string {
+	return []string{"bbss", "fpss", "crss", "woptss", "bfss", "eps-series"}
+}
+
+// KNN answers a k-nearest-neighbor query with the named algorithm
+// (empty string = CRSS, the paper's recommendation) and reports access
+// statistics. Results are ordered by increasing distance.
+func (ix *Index) KNN(q Point, k int, algorithm string) ([]Neighbor, *QueryStats, error) {
+	alg, err := AlgorithmByName(algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	if q.Dim() != ix.cfg.Dim {
+		return nil, nil, fmt.Errorf("core: query dim %d, index dim %d", q.Dim(), ix.cfg.Dim)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d := query.Driver{Tree: ix.tree}
+	res, stats := d.Run(alg, q, k, query.Options{})
+	return res, stats, nil
+}
+
+// KNNTraced is KNN with a stage-by-stage trace callback (see
+// query.Options.Trace); CRSS reports its ADAPTIVE/UPDATE/NORMAL/
+// TERMINATE mode transitions.
+func (ix *Index) KNNTraced(q Point, k int, algorithm string, trace func(string)) ([]Neighbor, *QueryStats, error) {
+	alg, err := AlgorithmByName(algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	if q.Dim() != ix.cfg.Dim {
+		return nil, nil, fmt.Errorf("core: query dim %d, index dim %d", q.Dim(), ix.cfg.Dim)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d := query.Driver{Tree: ix.tree}
+	res, stats := d.Run(alg, q, k, query.Options{Trace: trace})
+	return res, stats, nil
+}
+
+// RangeSearch returns all objects within distance eps of q (the paper's
+// Definition 1), with the number of nodes accessed.
+func (ix *Index) RangeSearch(q Point, eps float64) ([]Neighbor, int, error) {
+	if q.Dim() != ix.cfg.Dim {
+		return nil, 0, fmt.Errorf("core: query dim %d, index dim %d", q.Dim(), ix.cfg.Dim)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	matches, nodes := ix.tree.SearchSphere(q, eps, nil)
+	out := make([]Neighbor, len(matches))
+	for i, m := range matches {
+		out[i] = Neighbor{Object: m.Object, Rect: m.Rect, DistSq: geom.MinDistSq(q, m.Rect)}
+	}
+	return out, nodes, nil
+}
+
+// SimulatedWorkload describes a timed multi-user experiment.
+type SimulatedWorkload struct {
+	// Algorithm name; empty = CRSS.
+	Algorithm string
+	// K nearest neighbors per query.
+	K int
+	// Queries to execute, one arrival each.
+	Queries []Point
+	// ArrivalRate λ in queries/second (Poisson); 0 = single-user
+	// (back-to-back queries).
+	ArrivalRate float64
+	// CachedLevels pins the top tree levels in memory (0 = paper model).
+	CachedLevels int
+	// SharedCachePages enables an LRU buffer pool of that many pages
+	// shared across all queries of the workload (0 = no buffer pool,
+	// the paper's model).
+	SharedCachePages int
+}
+
+// Simulate runs the workload through the event-driven disk-array
+// simulator (HP C2200A drives, 100 MIPS CPU, shared bus) and returns
+// per-query response times and device statistics.
+func (ix *Index) Simulate(w SimulatedWorkload) (RunResult, error) {
+	alg, err := AlgorithmByName(w.Algorithm)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sys, err := simarray.NewSystem(ix.tree, simarray.Config{Seed: ix.cfg.Seed})
+	if err != nil {
+		return RunResult{}, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	opts := query.Options{CachedLevels: w.CachedLevels}
+	if w.SharedCachePages > 0 {
+		opts.SharedCache = bufferpool.New[rtree.PageID, struct{}](w.SharedCachePages)
+	}
+	return sys.Run(simarray.Workload{
+		Algorithm:   alg,
+		K:           w.K,
+		Queries:     w.Queries,
+		ArrivalRate: w.ArrivalRate,
+		Options:     opts,
+	})
+}
+
+// Check validates the index invariants (tree structure, entry counts,
+// page placements). Intended for tests and tools.
+func (ix *Index) Check() error {
+	if err := ix.tree.Tree.CheckInvariants(); err != nil {
+		return err
+	}
+	return ix.tree.CheckPlacements()
+}
+
+// Distribution reports how the index's pages spread over the disks.
+func (ix *Index) Distribution() parallel.DistributionStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Distribution()
+}
+
+// Snapshot persists the index (configuration, every page and its
+// placement) to w; LoadIndex restores it.
+func (ix *Index) Snapshot(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Snapshot(w)
+}
+
+// LoadIndex restores an index previously written by Snapshot.
+func LoadIndex(r io.Reader) (*Index, error) {
+	tree, err := parallel.LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := IndexConfig{
+		Dim:        tree.Config().Dim,
+		NumDisks:   tree.Config().NumDisks,
+		PageSize:   tree.Config().PageSize,
+		Policy:     tree.Config().Policy.Name(),
+		Seed:       tree.Config().Seed,
+		UseSpheres: tree.Config().UseSpheres,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Index{cfg: cfg, tree: tree}, nil
+}

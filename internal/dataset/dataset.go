@@ -1,0 +1,335 @@
+// Package dataset generates and persists the point sets of the paper's
+// evaluation (Appendix I):
+//
+//   - SU — synthetic uniform points in the unit hypercube.
+//   - SG — synthetic Gaussian (normal) points.
+//   - CP — "California places" (Sequoia 2000), 62,173 2-d points. The
+//     original file is not distributable here, so CaliforniaLike
+//     synthesizes a stand-in: a mixture of ~160 Gaussian clusters whose
+//     centers follow a coastal-band density gradient. What the
+//     experiments depend on is the multi-scale spatial skew (it shapes
+//     MBR overlap and page occupancy), which the mixture reproduces.
+//   - LB — TIGER "Long Beach" road intersections, 53,145 2-d points.
+//     LongBeachLike synthesizes a jittered street grid with variable
+//     block pitch plus diagonal arterials: locally regular, globally
+//     density-varying, which is what distinguishes road data from place
+//     data.
+//
+// All generators are deterministic in their seed.
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Paper population sizes for the real-data stand-ins.
+const (
+	CaliforniaN = 62173
+	LongBeachN  = 53145
+)
+
+// Uniform returns n points uniform in [0,1]^dim.
+func Uniform(n, dim int, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = rnd.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Gaussian returns n points from an isotropic normal centered at 0.5^dim
+// with standard deviation 0.125, clamped to [0,1]^dim (the paper's SG
+// family).
+func Gaussian(n, dim int, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = clamp01(0.5 + rnd.NormFloat64()*0.125)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Clustered returns n points drawn from k Gaussian clusters with
+// uniformly placed centers and per-cluster spread — a generic skewed
+// distribution used by ablation experiments.
+func Clustered(n, dim, k int, seed int64) []geom.Point {
+	if k < 1 {
+		k = 1
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	spreads := make([]float64, k)
+	for c := range centers {
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = rnd.Float64()
+		}
+		centers[c] = p
+		spreads[c] = 0.005 + rnd.Float64()*0.05
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := rnd.Intn(k)
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = clamp01(centers[c][d] + rnd.NormFloat64()*spreads[c])
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// CaliforniaLike synthesizes a CP stand-in: 2-d, population n (use
+// CaliforniaN for the paper's size). Cluster centers concentrate along a
+// diagonal "coastal band" with an inland density fade; cluster sizes are
+// Zipf-ish so a few metropolitan blobs dominate, with a sprinkling of
+// isolated places.
+func CaliforniaLike(n int, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	const clusters = 160
+	type cl struct {
+		cx, cy, sd float64
+		w          float64
+	}
+	cls := make([]cl, clusters)
+	var totalW float64
+	for i := range cls {
+		// Coastal band: centers near the line y = 1 - x, biased toward it.
+		t := rnd.Float64()
+		off := math.Abs(rnd.NormFloat64()) * 0.18 // inland offset
+		x := clamp01(t + rnd.NormFloat64()*0.03)
+		y := clamp01(1 - t - off)
+		w := 1.0 / math.Pow(float64(i+1), 1.1) // Zipf weights
+		cls[i] = cl{cx: x, cy: y, sd: 0.004 + rnd.Float64()*0.03, w: w}
+		totalW += w
+	}
+	pts := make([]geom.Point, 0, n)
+	// 6% of points are isolated rural places, uniform over the space.
+	rural := n * 6 / 100
+	for i := 0; i < rural; i++ {
+		pts = append(pts, geom.Point{rnd.Float64(), rnd.Float64()})
+	}
+	for len(pts) < n {
+		// Pick a cluster by weight.
+		r := rnd.Float64() * totalW
+		idx := 0
+		for acc := 0.0; idx < clusters-1; idx++ {
+			acc += cls[idx].w
+			if r <= acc {
+				break
+			}
+		}
+		c := cls[idx]
+		pts = append(pts, geom.Point{
+			clamp01(c.cx + rnd.NormFloat64()*c.sd),
+			clamp01(c.cy + rnd.NormFloat64()*c.sd),
+		})
+	}
+	return pts
+}
+
+// LongBeachLike synthesizes an LB stand-in: 2-d road-segment
+// intersections, population n (use LongBeachN for the paper's size).
+// Points sit on a jittered grid whose pitch varies by district, plus
+// diagonal arterial roads crossing the grid; a fraction of grid cells
+// are empty (parks, water).
+func LongBeachLike(n int, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+
+	// District structure: 4x4 districts with their own block pitch.
+	const dist = 4
+	pitch := make([]float64, dist*dist)
+	skip := make([]float64, dist*dist)
+	for i := range pitch {
+		pitch[i] = 0.004 + rnd.Float64()*0.009 // block size
+		skip[i] = rnd.Float64() * 0.25         // empty-cell probability
+	}
+	// Grid intersections: ~85% of the population.
+	gridN := n * 85 / 100
+	for len(pts) < gridN {
+		dx, dy := rnd.Intn(dist), rnd.Intn(dist)
+		di := dy*dist + dx
+		p := pitch[di]
+		if rnd.Float64() < skip[di] {
+			continue
+		}
+		// Snap a random location in the district to its grid.
+		x0, y0 := float64(dx)/dist, float64(dy)/dist
+		gx := x0 + math.Floor(rnd.Float64()/(dist*p))*p
+		gy := y0 + math.Floor(rnd.Float64()/(dist*p))*p
+		if gx >= x0+1.0/dist || gy >= y0+1.0/dist {
+			continue
+		}
+		// Street jitter.
+		pts = append(pts, geom.Point{
+			clamp01(gx + rnd.NormFloat64()*p*0.04),
+			clamp01(gy + rnd.NormFloat64()*p*0.04),
+		})
+	}
+	// Arterials: diagonal roads contribute the rest.
+	for len(pts) < n {
+		t := rnd.Float64()
+		which := rnd.Intn(3)
+		var x, y float64
+		switch which {
+		case 0: // main diagonal
+			x, y = t, clamp01(0.1+0.8*t)
+		case 1: // anti-diagonal
+			x, y = t, clamp01(0.9-0.7*t)
+		default: // ring road
+			ang := t * 2 * math.Pi
+			x, y = clamp01(0.5+0.42*math.Cos(ang)), clamp01(0.5+0.42*math.Sin(ang))
+		}
+		pts = append(pts, geom.Point{
+			clamp01(x + rnd.NormFloat64()*0.002),
+			clamp01(y + rnd.NormFloat64()*0.002),
+		})
+	}
+	return pts
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ByName builds a data set from an experiment-config name. dim is
+// ignored by the 2-d real-data stand-ins.
+func ByName(name string, n, dim int, seed int64) ([]geom.Point, error) {
+	switch name {
+	case "uniform", "su":
+		return Uniform(n, dim, seed), nil
+	case "gaussian", "sg":
+		return Gaussian(n, dim, seed), nil
+	case "california", "cp":
+		if n == 0 {
+			n = CaliforniaN
+		}
+		return CaliforniaLike(n, seed), nil
+	case "longbeach", "lb":
+		if n == 0 {
+			n = LongBeachN
+		}
+		return LongBeachLike(n, seed), nil
+	case "clustered":
+		return Clustered(n, dim, 32, seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown data set %q", name)
+	}
+}
+
+// SampleQueries draws query points from the data distribution (the
+// standard workload model for similarity queries: users look for
+// neighbors of existing feature vectors), slightly perturbed so a query
+// point is not exactly a stored object.
+func SampleQueries(pts []geom.Point, count int, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, count)
+	for i := range out {
+		src := pts[rnd.Intn(len(pts))]
+		q := make(geom.Point, len(src))
+		for d := range src {
+			q[d] = src[d] + rnd.NormFloat64()*1e-4
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// Binary persistence format: magic "SQDS", version byte, uint16 dim,
+// uint32 count, then count*dim little-endian float64s.
+var fileMagic = [4]byte{'S', 'Q', 'D', 'S'}
+
+// Save writes points in the package's binary format.
+func Save(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	dim := 0
+	if len(pts) > 0 {
+		dim = pts[0].Dim()
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(dim))
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(pts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for i, p := range pts {
+		if p.Dim() != dim {
+			return fmt.Errorf("dataset: point %d has dim %d, want %d", i, p.Dim(), dim)
+		}
+		for _, v := range p {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads points written by Save.
+func Load(r io.Reader) ([]geom.Point, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != 1 {
+		return nil, fmt.Errorf("dataset: unsupported version %d", ver)
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	dim := int(binary.LittleEndian.Uint16(hdr[0:]))
+	count := int(binary.LittleEndian.Uint32(hdr[2:]))
+	pts := make([]geom.Point, count)
+	var buf [8]byte
+	for i := 0; i < count; i++ {
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("dataset: point %d: %w", i, err)
+			}
+			p[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}

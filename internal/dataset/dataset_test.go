@@ -1,0 +1,233 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func inUnitCube(pts []geom.Point) bool {
+	for _, p := range pts {
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGeneratorsBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []geom.Point
+		dim  int
+	}{
+		{"uniform", Uniform(5000, 3, 1), 3},
+		{"gaussian", Gaussian(5000, 5, 1), 5},
+		{"clustered", Clustered(5000, 2, 16, 1), 2},
+		{"california", CaliforniaLike(5000, 1), 2},
+		{"longbeach", LongBeachLike(5000, 1), 2},
+	}
+	for _, c := range cases {
+		if len(c.pts) != 5000 {
+			t.Errorf("%s: %d points", c.name, len(c.pts))
+		}
+		for _, p := range c.pts {
+			if p.Dim() != c.dim {
+				t.Fatalf("%s: dim %d, want %d", c.name, p.Dim(), c.dim)
+			}
+		}
+		if !inUnitCube(c.pts) {
+			t.Errorf("%s: points escape the unit cube", c.name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := CaliforniaLike(2000, 7)
+	b := CaliforniaLike(2000, 7)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("point %d differs across identical seeds", i)
+		}
+	}
+	c := CaliforniaLike(2000, 8)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// meanNNDistVariance estimates spatial skew: variance of local density
+// measured via cell counts on a grid.
+func cellCountVariance(pts []geom.Point, grid int) float64 {
+	counts := make([]float64, grid*grid)
+	for _, p := range pts {
+		x := int(p[0] * float64(grid))
+		y := int(p[1] * float64(grid))
+		if x >= grid {
+			x = grid - 1
+		}
+		if y >= grid {
+			y = grid - 1
+		}
+		counts[y*grid+x]++
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(len(counts))
+	var v float64
+	for _, c := range counts {
+		v += (c - mean) * (c - mean)
+	}
+	return v / float64(len(counts))
+}
+
+func TestRealLikeSetsAreSkewed(t *testing.T) {
+	// The CP/LB stand-ins must be visibly more skewed than uniform —
+	// that is the property the experiments depend on.
+	n := 20000
+	vu := cellCountVariance(Uniform(n, 2, 3), 16)
+	vc := cellCountVariance(CaliforniaLike(n, 3), 16)
+	vl := cellCountVariance(LongBeachLike(n, 3), 16)
+	if vc < 5*vu {
+		t.Errorf("CaliforniaLike variance %.1f not ≫ uniform %.1f", vc, vu)
+	}
+	if vl < 2*vu {
+		t.Errorf("LongBeachLike variance %.1f not > uniform %.1f", vl, vu)
+	}
+	// And California (clustered places) should be more skewed than
+	// Long Beach (regular streets).
+	if vc < vl {
+		t.Errorf("expected CP skew (%.1f) > LB skew (%.1f)", vc, vl)
+	}
+}
+
+func TestGaussianIsCentered(t *testing.T) {
+	pts := Gaussian(20000, 4, 5)
+	for d := 0; d < 4; d++ {
+		var mean float64
+		for _, p := range pts {
+			mean += p[d]
+		}
+		mean /= float64(len(pts))
+		if math.Abs(mean-0.5) > 0.01 {
+			t.Errorf("axis %d mean = %.3f, want ~0.5", d, mean)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "su", "gaussian", "sg", "california", "cp", "longbeach", "lb", "clustered"} {
+		pts, err := ByName(name, 100, 2, 1)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if len(pts) != 100 {
+			t.Errorf("ByName(%q): %d points", name, len(pts))
+		}
+	}
+	if _, err := ByName("nope", 10, 2, 1); err == nil {
+		t.Error("accepted unknown name")
+	}
+	// n == 0 for the real stand-ins defaults to the paper populations.
+	pts, err := ByName("cp", 0, 2, 1)
+	if err != nil || len(pts) != CaliforniaN {
+		t.Errorf("cp default population = %d, err %v", len(pts), err)
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	pts := Uniform(1000, 3, 1)
+	qs := SampleQueries(pts, 50, 2)
+	if len(qs) != 50 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Dim() != 3 {
+			t.Fatal("wrong query dim")
+		}
+	}
+	// Deterministic.
+	qs2 := SampleQueries(pts, 50, 2)
+	for i := range qs {
+		if !qs[i].Equal(qs2[i]) {
+			t.Fatal("queries not deterministic")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pts := Gaussian(500, 7, 9)
+	var buf bytes.Buffer
+	if err := Save(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("loaded %d points", len(got))
+	}
+	for i := range pts {
+		if !pts[i].Equal(got[i]) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+// Property: save/load round-trips arbitrary point sets exactly.
+func TestSaveLoadProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dimRaw uint8) bool {
+		n := int(nRaw) % 64
+		dim := int(dimRaw)%8 + 1
+		pts := Uniform(n, dim, seed)
+		var buf bytes.Buffer
+		if err := Save(&buf, pts); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range pts {
+			if !pts[i].Equal(got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a dataset"))); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("accepted empty input")
+	}
+	// Bad version.
+	var buf bytes.Buffer
+	_ = Save(&buf, Uniform(3, 2, 1))
+	raw := buf.Bytes()
+	raw[4] = 99
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Error("accepted bad version")
+	}
+}

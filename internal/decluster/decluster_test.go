@@ -1,0 +1,208 @@
+package decluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+func rect(x1, y1, x2, y2 float64) geom.Rect {
+	return geom.NewRect(geom.Point{x1, y1}, geom.Point{x2, y2})
+}
+
+var unitSpace = rect(0, 0, 10, 10)
+
+func TestSegmentProximityShape(t *testing.T) {
+	// Identical overlap scores higher than mere touch.
+	full := segmentProximity(0, 1, 0, 1, 1)
+	touch := segmentProximity(0, 1, 1, 2, 1)
+	gap := segmentProximity(0, 1, 1.5, 2, 1)
+	farAway := segmentProximity(0, 1, 5, 6, 1)
+	if !(full > touch && touch > gap && gap > farAway) {
+		t.Errorf("ordering violated: %g %g %g %g", full, touch, gap, farAway)
+	}
+	if farAway != 0 {
+		t.Errorf("distant segments proximity = %g, want 0", farAway)
+	}
+}
+
+func TestProximityOrdering(t *testing.T) {
+	a := rect(0, 0, 2, 2)
+	overlapping := rect(1, 1, 3, 3)
+	adjacent := rect(2, 0, 4, 2)
+	distant := rect(8, 8, 9, 9)
+	po := Proximity(a, overlapping, unitSpace, true)
+	pa := Proximity(a, adjacent, unitSpace, true)
+	pd := Proximity(a, distant, unitSpace, true)
+	if !(po > pa && pa > pd) {
+		t.Errorf("proximity ordering violated: overlap=%g adjacent=%g distant=%g", po, pa, pd)
+	}
+}
+
+// Property: proximity is symmetric and non-negative.
+func TestProximitySymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		mk := func() geom.Rect {
+			x, y := rnd.Float64()*10, rnd.Float64()*10
+			return rect(x, y, x+rnd.Float64()*3, y+rnd.Float64()*3)
+		}
+		a, b := mk(), mk()
+		pab := Proximity(a, b, unitSpace, true)
+		pba := Proximity(b, a, unitSpace, true)
+		return pab >= 0 && math.Abs(pab-pba) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProximityIndexAvoidsProximalDisk(t *testing.T) {
+	state := NewArrayState(3)
+	state.Space = unitSpace
+	state.HasSpace = true
+	newRect := rect(0, 0, 2, 2)
+	siblings := []Sibling{
+		{Page: 1, Rect: rect(1, 1, 3, 3), Disk: 0},   // overlaps the new node
+		{Page: 2, Rect: rect(4, 4, 5, 5), Disk: 1},   // moderate distance
+		{Page: 3, Rect: rect(9, 9, 10, 10), Disk: 2}, // far away
+	}
+	got := ProximityIndex{}.Assign(newRect, siblings, state)
+	if got != 2 {
+		t.Errorf("PI assigned disk %d, want 2 (least proximal)", got)
+	}
+}
+
+func TestProximityIndexTieBreaksOnLoad(t *testing.T) {
+	state := NewArrayState(3)
+	state.PagesPerDisk = []int{5, 2, 7}
+	// No siblings: all proximities zero; expect the least-loaded disk.
+	got := ProximityIndex{}.Assign(rect(0, 0, 1, 1), nil, state)
+	if got != 1 {
+		t.Errorf("tie-break disk = %d, want 1", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := &RoundRobin{}
+	state := NewArrayState(3)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := p.Assign(rect(0, 0, 1, 1), nil, state); got != w {
+			t.Errorf("step %d: disk %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRandomIsSeededAndInRange(t *testing.T) {
+	state := NewArrayState(4)
+	a := NewRandom(42)
+	b := NewRandom(42)
+	for i := 0; i < 50; i++ {
+		da := a.Assign(rect(0, 0, 1, 1), nil, state)
+		db := b.Assign(rect(0, 0, 1, 1), nil, state)
+		if da != db {
+			t.Fatal("same seed, different sequence")
+		}
+		if da < 0 || da >= 4 {
+			t.Fatalf("disk %d out of range", da)
+		}
+	}
+}
+
+func TestDataBalancePicksEmptiest(t *testing.T) {
+	state := NewArrayState(3)
+	state.PagesPerDisk = []int{4, 1, 3}
+	if got := (DataBalance{}).Assign(rect(0, 0, 1, 1), nil, state); got != 1 {
+		t.Errorf("disk = %d, want 1", got)
+	}
+}
+
+func TestAreaBalancePicksSmallest(t *testing.T) {
+	state := NewArrayState(3)
+	state.AreaPerDisk = []float64{10, 30, 5}
+	if got := (AreaBalance{}).Assign(rect(0, 0, 1, 1), nil, state); got != 2 {
+		t.Errorf("disk = %d, want 2", got)
+	}
+}
+
+func TestMinOverlapAvoidsOverlappingDisk(t *testing.T) {
+	state := NewArrayState(2)
+	newRect := rect(0, 0, 2, 2)
+	siblings := []Sibling{
+		{Page: 1, Rect: rect(1, 1, 3, 3), Disk: 0},
+		{Page: 2, Rect: rect(5, 5, 6, 6), Disk: 1},
+	}
+	if got := (MinOverlap{}).Assign(newRect, siblings, state); got != 1 {
+		t.Errorf("disk = %d, want 1", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"proximity", "pi", "roundrobin", "rr", "random", "databalance", "areabalance", "minoverlap"} {
+		p, err := ByName(name, 1)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if p == nil {
+			t.Errorf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("ByName accepted unknown policy")
+	}
+}
+
+func TestAllReturnsDistinctPolicies(t *testing.T) {
+	ps := All(1)
+	if len(ps) != 6 {
+		t.Fatalf("All returned %d policies", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if names[p.Name()] {
+			t.Errorf("duplicate policy %s", p.Name())
+		}
+		names[p.Name()] = true
+	}
+}
+
+// Property: every policy returns an in-range disk for arbitrary inputs.
+func TestPoliciesRangeProperty(t *testing.T) {
+	f := func(seed int64, disksRaw uint8, nSibsRaw uint8) bool {
+		disks := int(disksRaw)%12 + 1
+		nSibs := int(nSibsRaw) % 20
+		rnd := rand.New(rand.NewSource(seed))
+		state := NewArrayState(disks)
+		state.Space = unitSpace
+		state.HasSpace = true
+		for d := range state.PagesPerDisk {
+			state.PagesPerDisk[d] = rnd.Intn(50)
+			state.AreaPerDisk[d] = rnd.Float64() * 100
+		}
+		var sibs []Sibling
+		for i := 0; i < nSibs; i++ {
+			x, y := rnd.Float64()*9, rnd.Float64()*9
+			sibs = append(sibs, Sibling{
+				Page: rtree.PageID(i + 1),
+				Rect: rect(x, y, x+rnd.Float64(), y+rnd.Float64()),
+				Disk: rnd.Intn(disks),
+			})
+		}
+		newRect := rect(1, 1, 2, 2)
+		for _, p := range All(seed) {
+			d := p.Assign(newRect, sibs, state)
+			if d < 0 || d >= disks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

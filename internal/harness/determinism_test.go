@@ -1,0 +1,38 @@
+package harness
+
+import "testing"
+
+// TestExperimentsDeterministic: identical options must reproduce
+// identical tables — the property that makes EXPERIMENTS.md checkable.
+func TestExperimentsDeterministic(t *testing.T) {
+	opt := Options{Scale: 0.04, Queries: 5, Seed: 77}
+	for _, id := range []string{"fig8-cp", "fig10-lb", "table3"} {
+		a, err := Run(id, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s not deterministic:\n%s\nvs\n%s", id, a, b)
+		}
+	}
+}
+
+// TestSeedChangesResults: a different seed must actually change the
+// measurements (guards against accidentally ignoring the seed).
+func TestSeedChangesResults(t *testing.T) {
+	a, err := Run("fig8-cp", Options{Scale: 0.04, Queries: 5, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig8-cp", Options{Scale: 0.04, Queries: 5, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different seeds produced identical tables")
+	}
+}

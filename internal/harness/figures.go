@@ -1,0 +1,290 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/query"
+)
+
+// The four algorithms in the paper's presentation order.
+func paperAlgorithms() []query.Algorithm {
+	return []query.Algorithm{query.BBSS{}, query.FPSS{}, query.CRSS{}, query.WOPTSS{}}
+}
+
+// fig8KSweep is the paper's query-size axis: 1 to 700 nearest neighbors.
+var fig8KSweep = []int{1, 50, 100, 200, 300, 400, 500, 600, 700}
+
+// visitedNodesFigure runs the Figures 8/9 workload: mean visited nodes
+// per algorithm as a function of k, optionally normalized to WOPTSS.
+func visitedNodesFigure(id, title, dsName string, population, dim, disks int,
+	algs []query.Algorithm, ks []int, normalize bool, opt Options) (*Table, error) {
+
+	opt = opt.fill()
+	n := opt.scaleN(population)
+	ks = scaleKs(ks, n)
+	tree, pts, err := buildTree(dsName, n, dim, disks, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.SampleQueries(pts, opt.Queries, opt.Seed+5)
+
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "k",
+		YLabel: "mean visited nodes",
+		X:      intsToFloats(ks),
+		Notes: []string{
+			fmt.Sprintf("set: %s, population: %d, disks: %d, dimensions: %d, queries: %d",
+				dsName, n, disks, dim, len(queries)),
+		},
+	}
+	if normalize {
+		t.YLabel = "visited nodes normalized to WOPTSS"
+	}
+	for _, alg := range algs {
+		ys := make([]float64, len(ks))
+		for i, k := range ks {
+			ys[i] = meanVisits(tree, alg, queries, k)
+		}
+		t.AddSeries(alg.Name(), ys)
+	}
+	if normalize {
+		normalizeTo(t, "WOPTSS")
+	}
+	// Paper's qualitative claims: WOPTSS floors everyone; CRSS beats
+	// FPSS on fetched pages.
+	checkShape(t, "WOPTSS", "CRSS")
+	if t.Get("FPSS") != nil {
+		checkShape(t, "CRSS", "FPSS")
+	}
+	return t, nil
+}
+
+// Fig8CP reproduces Figure 8 (left): visited nodes vs query size on the
+// California places set, 10 disks, 2-d.
+func Fig8CP(opt Options) (*Table, error) {
+	return visitedNodesFigure("fig8-cp",
+		"Number of visited nodes vs. query size (Set: California, Disks: 10, Dim: 2)",
+		"california", dataset.CaliforniaN, 2, 10,
+		paperAlgorithms(), fig8KSweep, false, opt)
+}
+
+// Fig8LB reproduces Figure 8 (right) on the Long Beach set.
+func Fig8LB(opt Options) (*Table, error) {
+	return visitedNodesFigure("fig8-lb",
+		"Number of visited nodes vs. query size (Set: Long Beach, Disks: 10, Dim: 2)",
+		"longbeach", dataset.LongBeachN, 2, 10,
+		paperAlgorithms(), fig8KSweep, false, opt)
+}
+
+// Fig9SG reproduces Figure 9 (left): visited nodes normalized to WOPTSS
+// on 10-d Gaussian data (the paper plots BBSS, CRSS and WOPTSS).
+func Fig9SG(opt Options) (*Table, error) {
+	return visitedNodesFigure("fig9-sg",
+		"Visited nodes normalized to WOPTSS vs. query size (Set: Gaussian, Population: 60000, Disks: 10, Dim: 10)",
+		"gaussian", 60000, 10, 10,
+		[]query.Algorithm{query.BBSS{}, query.CRSS{}, query.WOPTSS{}},
+		fig8KSweep, true, opt)
+}
+
+// Fig9SU reproduces Figure 9 (right) on 10-d uniform data.
+func Fig9SU(opt Options) (*Table, error) {
+	return visitedNodesFigure("fig9-su",
+		"Visited nodes normalized to WOPTSS vs. query size (Set: Uniform, Population: 60000, Disks: 10, Dim: 10)",
+		"uniform", 60000, 10, 10,
+		[]query.Algorithm{query.BBSS{}, query.CRSS{}, query.WOPTSS{}},
+		fig8KSweep, true, opt)
+}
+
+// responseVsLambdaFigure runs the Figure 10 workload: mean response time
+// against the Poisson arrival rate.
+func responseVsLambdaFigure(id, title, dsName string, population, dim, disks, k int,
+	lambdas []float64, opt Options) (*Table, error) {
+
+	opt = opt.fill()
+	n := opt.scaleN(population)
+	if k > n {
+		k = n
+	}
+	tree, pts, err := buildTree(dsName, n, dim, disks, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.SampleQueries(pts, opt.Queries, opt.Seed+5)
+
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "lambda (queries/sec)",
+		YLabel: "mean response time (sec)",
+		X:      lambdas,
+		Notes: []string{
+			fmt.Sprintf("set: %s, population: %d, disks: %d, NNs: %d, dimensions: %d, queries: %d",
+				dsName, n, disks, k, dim, len(queries)),
+		},
+	}
+	for _, alg := range paperAlgorithms() {
+		ys := make([]float64, len(lambdas))
+		for i, l := range lambdas {
+			mean, err := meanResponse(tree, alg, queries, k, l, opt.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = mean
+		}
+		t.AddSeries(alg.Name(), ys)
+	}
+	checkShape(t, "WOPTSS", "CRSS")
+	checkShape(t, "CRSS", "FPSS")
+	return t, nil
+}
+
+// Fig10LB reproduces Figure 10 (left): response time vs arrival rate on
+// Long Beach, 5 disks, k = 10.
+func Fig10LB(opt Options) (*Table, error) {
+	return responseVsLambdaFigure("fig10-lb",
+		"Response time (sec) vs. query arrival rate (Set: Long Beach, Disks: 5, NNs: 10, Dim: 2)",
+		"longbeach", dataset.LongBeachN, 2, 5, 10,
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opt)
+}
+
+// Fig10CP reproduces Figure 10 (right): response time vs arrival rate on
+// California, 10 disks, k = 100.
+func Fig10CP(opt Options) (*Table, error) {
+	return responseVsLambdaFigure("fig10-cp",
+		"Response time (sec) vs. query arrival rate (Set: California, Disks: 10, NNs: 100, Dim: 2)",
+		"california", dataset.CaliforniaN, 2, 10, 100,
+		[]float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}, opt)
+}
+
+// responseVsDisksFigure runs the Figure 11 workload: response time
+// normalized to WOPTSS against the array width (speed-up view). FPSS is
+// omitted, as in the paper ("its performance is very sensitive on the
+// workload and the number of disks").
+func responseVsDisksFigure(id, title string, k int, opt Options) (*Table, error) {
+	opt = opt.fill()
+	population := 50000
+	n := opt.scaleN(population)
+	if k > n {
+		k = n
+	}
+	const dim = 5
+	lambda := 5.0
+	diskSweep := []int{5, 10, 15, 20, 25, 30}
+
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "number of disks",
+		YLabel: "response time normalized to WOPTSS",
+		X:      intsToFloats(diskSweep),
+		Notes: []string{
+			fmt.Sprintf("set: gaussian, population: %d, dimensions: %d, NNs: %d, lambda: %g, queries: %d",
+				n, dim, k, lambda, opt.fill().Queries),
+		},
+	}
+	algs := []query.Algorithm{query.BBSS{}, query.CRSS{}, query.WOPTSS{}}
+	ys := make(map[string][]float64, len(algs))
+	for _, alg := range algs {
+		ys[alg.Name()] = make([]float64, len(diskSweep))
+	}
+	for i, disks := range diskSweep {
+		tree, pts, err := buildTree("gaussian", n, dim, disks, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		queries := dataset.SampleQueries(pts, opt.Queries, opt.Seed+5)
+		for _, alg := range algs {
+			mean, err := meanResponse(tree, alg, queries, k, lambda, opt.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			ys[alg.Name()][i] = mean
+		}
+	}
+	for _, alg := range algs {
+		t.AddSeries(alg.Name(), ys[alg.Name()])
+	}
+	normalizeTo(t, "WOPTSS")
+	checkShape(t, "CRSS", "BBSS")
+	return t, nil
+}
+
+// Fig11K10 reproduces Figure 11 (left): k = 10.
+func Fig11K10(opt Options) (*Table, error) {
+	return responseVsDisksFigure("fig11-k10",
+		"Response time normalized to WOPTSS vs. number of disks (Set: Gaussian, Dim: 5, NNs: 10, λ=5)",
+		10, opt)
+}
+
+// Fig11K100 reproduces Figure 11 (right): k = 100.
+func Fig11K100(opt Options) (*Table, error) {
+	return responseVsDisksFigure("fig11-k100",
+		"Response time normalized to WOPTSS vs. number of disks (Set: Gaussian, Dim: 5, NNs: 100, λ=5)",
+		100, opt)
+}
+
+// responseVsKFigure runs the Figure 12 workload: response time
+// normalized to WOPTSS against k, at a fixed arrival rate, on 5-d
+// uniform data with 10 disks.
+func responseVsKFigure(id, title string, lambda float64, opt Options) (*Table, error) {
+	opt = opt.fill()
+	n := opt.scaleN(80000)
+	const dim = 5
+	const disks = 10
+	ks := scaleKs([]int{1, 10, 20, 40, 60, 80, 100}, n)
+
+	tree, pts, err := buildTree("uniform", n, dim, disks, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.SampleQueries(pts, opt.Queries, opt.Seed+5)
+
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "k",
+		YLabel: "response time normalized to WOPTSS",
+		X:      intsToFloats(ks),
+		Notes: []string{
+			fmt.Sprintf("set: uniform, population: %d, disks: %d, dimensions: %d, lambda: %g, queries: %d",
+				n, disks, dim, lambda, len(queries)),
+		},
+	}
+	algs := []query.Algorithm{query.BBSS{}, query.CRSS{}, query.WOPTSS{}}
+	for _, alg := range algs {
+		ys := make([]float64, len(ks))
+		for i, k := range ks {
+			mean, err := meanResponse(tree, alg, queries, k, lambda, opt.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = mean
+		}
+		t.AddSeries(alg.Name(), ys)
+	}
+	normalizeTo(t, "WOPTSS")
+	checkShape(t, "CRSS", "BBSS")
+	return t, nil
+}
+
+// Fig12L1 reproduces Figure 12 (left): λ = 1 query/sec.
+func Fig12L1(opt Options) (*Table, error) {
+	return responseVsKFigure("fig12-l1",
+		"Response time normalized to WOPTSS vs. number of nearest neighbors (λ=1)", 1, opt)
+}
+
+// Fig12L20 reproduces Figure 12 (right): λ = 20 queries/sec.
+func Fig12L20(opt Options) (*Table, error) {
+	return responseVsKFigure("fig12-l20",
+		"Response time normalized to WOPTSS vs. number of nearest neighbors (λ=20)", 20, opt)
+}
+
+// buildGaussianTree is shared by Tables 3/4 (5-d Gaussian data).
+func buildGaussianTree(n, disks int, seed int64) (*parallel.Tree, []geom.Point, error) {
+	return buildTree("gaussian", n, 5, disks, seed)
+}

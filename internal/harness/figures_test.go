@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// The remaining experiments at tiny scale: each must produce a
+// well-formed table with positive measurements. Shape assertions are
+// kept loose — tiny populations amplify variance — and strict ones live
+// in the package tests of the underlying components.
+
+func checkTableWellFormed(t *testing.T, tb *Table, wantSeries int) {
+	t.Helper()
+	if len(tb.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", tb.ID, len(tb.Series), wantSeries)
+	}
+	if len(tb.X) == 0 {
+		t.Fatalf("%s: empty x axis", tb.ID)
+	}
+	for _, s := range tb.Series {
+		if len(s.Y) != len(tb.X) {
+			t.Fatalf("%s/%s: ragged series", tb.ID, s.Label)
+		}
+		for i, y := range s.Y {
+			if math.IsNaN(y) || y < 0 {
+				t.Errorf("%s/%s[%d] = %g", tb.ID, s.Label, i, y)
+			}
+		}
+	}
+	if tb.String() == "" {
+		t.Errorf("%s: empty formatting", tb.ID)
+	}
+}
+
+func TestFig11SmallScale(t *testing.T) {
+	tb, err := Fig11K10(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 3)
+	// Normalized: WOPTSS identically 1.
+	w := tb.Get("WOPTSS")
+	for _, y := range w.Y {
+		if math.Abs(y-1) > 1e-9 {
+			t.Errorf("normalized WOPTSS = %g", y)
+		}
+	}
+}
+
+func TestFig12SmallScale(t *testing.T) {
+	tb, err := Fig12L1(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 3)
+}
+
+func TestTable4SmallScale(t *testing.T) {
+	tb, err := Table4(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 3)
+	if len(tb.X) != 4 {
+		t.Errorf("table4 has %d rows", len(tb.X))
+	}
+}
+
+func TestAblationDeclusterSmallScale(t *testing.T) {
+	tb, err := AblationDecluster(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 6) // six policies
+}
+
+func TestAblationCacheSmallScale(t *testing.T) {
+	tb, err := AblationCache(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 2)
+	// Disk accesses must fall monotonically as more levels are cached.
+	acc := tb.Get("disk-accesses")
+	for i := 1; i < len(acc.Y); i++ {
+		if acc.Y[i] > acc.Y[i-1]+1e-9 {
+			t.Errorf("caching level %g did not reduce accesses: %v", tb.X[i], acc.Y)
+		}
+	}
+}
+
+func TestAblationSRSmallScale(t *testing.T) {
+	tb, err := AblationSRTree(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 4)
+}
+
+func TestAblationRAID1SmallScale(t *testing.T) {
+	tb, err := AblationRAID1(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 3)
+	// RAID-1 must not be slower than RAID-0 on the same logical layout,
+	// summed over the sweep.
+	var r0, r1 float64
+	for i := range tb.X {
+		r0 += tb.Series[0].Y[i]
+		r1 += tb.Series[1].Y[i]
+	}
+	if r1 > r0*1.02 {
+		t.Errorf("RAID-1 total %.4f worse than RAID-0 %.4f", r1, r0)
+	}
+}
+
+func TestAblationModelSmallScale(t *testing.T) {
+	tb, err := AblationModel(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 4)
+	// Model within an order of magnitude of simulation everywhere.
+	am, as := tb.Get("acc-model"), tb.Get("acc-sim")
+	for i := range am.Y {
+		ratio := am.Y[i] / as.Y[i]
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("k=%g: model/sim access ratio %.2f", tb.X[i], ratio)
+		}
+	}
+}
+
+func TestAblationBestFirstSmallScale(t *testing.T) {
+	tb, err := AblationBestFirst(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 8)
+	// BFSS accesses must match WOPTSS (the point of the ablation).
+	bf, w := tb.Get("acc-BFSS"), tb.Get("acc-WOPTSS")
+	for i := range bf.Y {
+		if math.Abs(bf.Y[i]-w.Y[i]) > 1.0 {
+			t.Errorf("k=%g: BFSS %.1f vs WOPTSS %.1f", tb.X[i], bf.Y[i], w.Y[i])
+		}
+	}
+}
+
+func TestAblationPackingSmallScale(t *testing.T) {
+	tb, err := AblationPacking(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 4)
+}
+
+func TestAblationCPUsSmallScale(t *testing.T) {
+	tb, err := AblationCPUs(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 2)
+	// The slow-CPU series must improve (weakly) with more processors.
+	slow := tb.Series[1]
+	if slow.Y[len(slow.Y)-1] > slow.Y[0]*1.001 {
+		t.Errorf("more CPUs made the slow system worse: %v", slow.Y)
+	}
+}
+
+func TestAblationRangeSmallScale(t *testing.T) {
+	tb, err := AblationRange(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableWellFormed(t, tb, 3)
+	// Every radius must speed up from the narrowest to the widest array.
+	for _, s := range tb.Series {
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Errorf("%s: no speed-up %v", s.Label, s.Y)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps harness tests fast: small populations, few queries.
+func tinyOpts() Options {
+	return Options{Scale: 0.05, Queries: 6, Seed: 7}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "demo", XLabel: "k", YLabel: "nodes",
+		X:     []float64{1, 10},
+		Notes: []string{"note"},
+	}
+	tb.AddSeries("A", []float64{1.5, 2.5})
+	tb.AddSeries("B", []float64{3, math.NaN()})
+	out := tb.String()
+	for _, want := range []string{"demo", "k", "A", "B", "1.50", "note", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Get("A") == nil || tb.Get("missing") != nil {
+		t.Error("Get misbehaves")
+	}
+}
+
+func TestAddSeriesLengthMismatchPanics(t *testing.T) {
+	tb := &Table{X: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.AddSeries("bad", []float64{1})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"fig8-cp", "fig8-lb", "fig9-sg", "fig9-su",
+		"fig10-lb", "fig10-cp", "fig11-k10", "fig11-k100",
+		"fig12-l1", "fig12-l20", "table3", "table4", "table5",
+		"abl-decl", "abl-eps", "abl-act", "abl-cache",
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if _, err := Run("nope", tinyOpts()); err == nil {
+		t.Error("Run accepted unknown id")
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}.fill()
+	if o.Scale != 1 || o.Queries != 100 || o.Seed == 0 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Options{Scale: 0.03}.fill()
+	if o.Queries != 10 {
+		t.Errorf("scaled queries = %d, want floor 10", o.Queries)
+	}
+	if got := (Options{Scale: 0.5}).scaleN(1000); got != 1000 {
+		t.Errorf("scaleN must cap at the paper population: %d", got)
+	}
+	if got := (Options{Scale: 0.01}).scaleN(50000); got != 2000 {
+		t.Errorf("scaleN floor not applied: %d", got)
+	}
+	if got := (Options{Scale: 0.5}).scaleN(100000); got != 50000 {
+		t.Errorf("scaleN not scaling: %d", got)
+	}
+}
+
+func TestFig8SmallScale(t *testing.T) {
+	tb, err := Fig8CP(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Series) != 4 {
+		t.Fatalf("%d series", len(tb.Series))
+	}
+	// WOPTSS must floor every other algorithm at every k.
+	w := tb.Get("WOPTSS")
+	for _, s := range tb.Series {
+		if s.Label == "WOPTSS" {
+			continue
+		}
+		for i := range s.Y {
+			if s.Y[i] < w.Y[i]-1e-9 {
+				t.Errorf("%s below WOPTSS at k=%g: %g < %g", s.Label, tb.X[i], s.Y[i], w.Y[i])
+			}
+		}
+	}
+	// Visited nodes grow with k for every algorithm.
+	for _, s := range tb.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("%s visits shrink with k: %v", s.Label, s.Y)
+		}
+	}
+}
+
+func TestFig9Normalization(t *testing.T) {
+	tb, err := Fig9SG(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tb.Get("WOPTSS")
+	for i := range w.Y {
+		if math.Abs(w.Y[i]-1) > 1e-9 {
+			t.Errorf("normalized WOPTSS != 1 at %d: %g", i, w.Y[i])
+		}
+	}
+	for _, s := range tb.Series {
+		for i := range s.Y {
+			if s.Y[i] < 1-1e-9 {
+				t.Errorf("%s normalized below 1: %g", s.Label, s.Y[i])
+			}
+		}
+	}
+}
+
+func TestFig10SmallScale(t *testing.T) {
+	opt := tinyOpts()
+	tb, err := Fig10LB(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.X) != 10 || len(tb.Series) != 4 {
+		t.Fatalf("unexpected table shape %dx%d", len(tb.X), len(tb.Series))
+	}
+	for _, s := range tb.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s response %g at λ=%g", s.Label, y, tb.X[i])
+			}
+		}
+	}
+}
+
+func TestTable3SmallScale(t *testing.T) {
+	tb, err := Table3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.X) != 4 {
+		t.Fatalf("%d rows", len(tb.X))
+	}
+	// CRSS stays at or under BBSS on every row (the paper's conclusion).
+	b, c := tb.Get("BBSS"), tb.Get("CRSS")
+	worse := 0
+	for i := range b.Y {
+		if c.Y[i] > b.Y[i] {
+			worse++
+		}
+	}
+	if worse > 1 {
+		t.Errorf("CRSS slower than BBSS on %d of %d rows: %v vs %v", worse, len(b.Y), c.Y, b.Y)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tb, err := Table5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Series) != 4 || len(tb.X) != 6 {
+		t.Fatalf("table5 shape %dx%d", len(tb.Series), len(tb.X))
+	}
+	for _, s := range tb.Series {
+		for _, y := range s.Y {
+			if y != 0 && y != 1 {
+				t.Errorf("%s has non-binary cell %g", s.Label, y)
+			}
+		}
+	}
+	// CRSS and WOPTSS must be good on every measured characteristic
+	// except (possibly) none — at minimum intra-query parallelism and
+	// response time.
+	crss := tb.Get("CRSS")
+	if crss.Y[1] != 1 {
+		t.Error("CRSS not good on response time")
+	}
+	if crss.Y[4] != 1 {
+		t.Error("CRSS not good on intraquery parallelism")
+	}
+	bbss := tb.Get("BBSS")
+	if bbss.Y[4] != 0 {
+		t.Error("BBSS should lack intraquery parallelism")
+	}
+}
+
+func TestAblationEpsilonShape(t *testing.T) {
+	tb, err := AblationEpsilon(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, crss := tb.Get("EPS-SERIES"), tb.Get("CRSS")
+	var epsSum, crssSum float64
+	for i := range eps.Y {
+		epsSum += eps.Y[i]
+		crssSum += crss.Y[i]
+	}
+	if epsSum <= crssSum {
+		t.Errorf("epsilon series should waste accesses: %g vs CRSS %g", epsSum, crssSum)
+	}
+}
+
+func TestAblationActivationBound(t *testing.T) {
+	tb, err := AblationActivationBound(Options{Scale: 0.04, Queries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.X) != 6 {
+		t.Fatalf("%d sweep points", len(tb.X))
+	}
+	v := tb.Get("visited-nodes")
+	// Visited nodes grow (weakly) with u: u=1 is most selective.
+	if v.Y[0] > v.Y[len(v.Y)-1]+1e-9 {
+		t.Errorf("visited nodes not weakly increasing in u: %v", v.Y)
+	}
+}
+
+func TestNormalizeToAndCheckShape(t *testing.T) {
+	tb := &Table{X: []float64{1, 2}}
+	tb.AddSeries("ref", []float64{2, 4})
+	tb.AddSeries("other", []float64{4, 4})
+	normalizeTo(tb, "ref")
+	r, o := tb.Get("ref"), tb.Get("other")
+	if r.Y[0] != 1 || r.Y[1] != 1 || o.Y[0] != 2 || o.Y[1] != 1 {
+		t.Errorf("normalize wrong: %v %v", r.Y, o.Y)
+	}
+	checkShape(tb, "ref", "other")
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "HOLDS") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("checkShape note missing: %v", tb.Notes)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{ID: "x", XLabel: "k", X: []float64{1, 2}}
+	tb.AddSeries("A", []float64{1.5, math.NaN()})
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "k,A\n1,1.5\n2,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

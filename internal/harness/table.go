@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one labelled curve of an experiment: Y values over the
+// shared X axis of its Table.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Table is the reproduction of one figure or table of the paper: an X
+// axis, one series per algorithm (or policy), and free-form notes
+// recording the workload parameters.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// AddSeries appends a series, validating its length against X.
+func (t *Table) AddSeries(label string, y []float64) {
+	if len(y) != len(t.X) {
+		panic(fmt.Sprintf("harness: series %q has %d values for %d x points", label, len(y), len(t.X)))
+	}
+	t.Series = append(t.Series, Series{Label: label, Y: y})
+}
+
+// Get returns the series with the given label, or nil.
+func (t *Table) Get(label string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// Format renders the table as aligned text, matching the rows/series the
+// paper reports.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  # %s\n", n)
+	}
+	cols := make([]string, 0, len(t.Series)+1)
+	cols = append(cols, t.XLabel)
+	for _, s := range t.Series {
+		cols = append(cols, s.Label)
+	}
+	widths := make([]int, len(cols))
+	rows := make([][]string, len(t.X))
+	for i := range t.X {
+		row := make([]string, len(cols))
+		row[0] = formatNum(t.X[i])
+		for j, s := range t.Series {
+			row[j+1] = formatNum(s.Y[i])
+		}
+		rows[i] = row
+	}
+	for j, c := range cols {
+		widths[j] = len(c)
+		for _, row := range rows {
+			if len(row[j]) > widths[j] {
+				widths[j] = len(row[j])
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for j, c := range cells {
+			parts[j] = fmt.Sprintf("%*s", widths[j], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	writeRow(cols)
+	sep := make([]string, len(cols))
+	for j := range sep {
+		sep[j] = strings.Repeat("-", widths[j])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	fmt.Fprintf(w, "  (y: %s)\n", t.YLabel)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Format(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as comma-separated values (header row, then
+// one row per x point) for downstream plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Series)+1)
+	header = append(header, t.XLabel)
+	for _, s := range t.Series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range t.X {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatFloat(t.X[i], 'g', -1, 64))
+		for _, s := range t.Series {
+			v := s.Y[i]
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatNum(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// Table3 reproduces the paper's Table 3 — scalability with population
+// growth: response time (sec) as population and disks grow together
+// ((10k,5), (20k,10), (40k,20), (80k,40)); Gaussian 5-d, k=20, λ=5.
+func Table3(opt Options) (*Table, error) {
+	opt = opt.fill()
+	steps := []struct {
+		population int
+		disks      int
+	}{
+		{10000, 5},
+		{20000, 10},
+		{40000, 20},
+		{80000, 40},
+	}
+	const k = 20
+	const lambda = 5.0
+
+	t := &Table{
+		ID:     "table3",
+		Title:  "Scalability with respect to population growth: response time (sec) vs. population and number of disks",
+		XLabel: "population",
+		YLabel: "mean response time (sec)",
+		Notes: []string{
+			fmt.Sprintf("set: gaussian, dimensions: 5, NNs: %d, lambda: %g queries/sec, disks: 5,10,20,40", k, lambda),
+		},
+	}
+	algs := []query.Algorithm{query.BBSS{}, query.CRSS{}, query.WOPTSS{}}
+	ys := map[string][]float64{}
+	for _, step := range steps {
+		n := opt.scaleN(step.population)
+		t.X = append(t.X, float64(n))
+		tree, pts, err := buildGaussianTree(n, step.disks, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		queries := dataset.SampleQueries(pts, opt.Queries, opt.Seed+5)
+		for _, alg := range algs {
+			mean, err := meanResponse(tree, alg, queries, k, lambda, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ys[alg.Name()] = append(ys[alg.Name()], mean)
+		}
+	}
+	for _, alg := range algs {
+		t.AddSeries(alg.Name(), ys[alg.Name()])
+	}
+	checkShape(t, "CRSS", "BBSS")
+	checkShape(t, "WOPTSS", "CRSS")
+	return t, nil
+}
+
+// Table4 reproduces the paper's Table 4 — scalability with query size
+// growth: response time (sec) as k and disks grow together ((10,5),
+// (20,10), (40,20), (80,40)); Gaussian 5-d, population 80,000, λ=5.
+func Table4(opt Options) (*Table, error) {
+	opt = opt.fill()
+	steps := []struct {
+		k     int
+		disks int
+	}{
+		{10, 5},
+		{20, 10},
+		{40, 20},
+		{80, 40},
+	}
+	const lambda = 5.0
+	n := opt.scaleN(80000)
+
+	t := &Table{
+		ID:     "table4",
+		Title:  "Scalability with respect to query size growth: response time (sec) vs. number of nearest neighbors and number of disks",
+		XLabel: "k",
+		YLabel: "mean response time (sec)",
+		Notes: []string{
+			fmt.Sprintf("set: gaussian, dimensions: 5, population: %d, lambda: %g queries/sec, disks: 5,10,20,40", n, lambda),
+		},
+	}
+	algs := []query.Algorithm{query.BBSS{}, query.CRSS{}, query.WOPTSS{}}
+	ys := map[string][]float64{}
+	for _, step := range steps {
+		t.X = append(t.X, float64(step.k))
+		tree, pts, err := buildGaussianTree(n, step.disks, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		queries := dataset.SampleQueries(pts, opt.Queries, opt.Seed+5)
+		for _, alg := range algs {
+			mean, err := meanResponse(tree, alg, queries, step.k, lambda, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ys[alg.Name()] = append(ys[alg.Name()], mean)
+		}
+	}
+	for _, alg := range algs {
+		t.AddSeries(alg.Name(), ys[alg.Name()])
+	}
+	checkShape(t, "CRSS", "BBSS")
+	return t, nil
+}
+
+// Table5 derives the paper's qualitative comparison (Table 5) from
+// measured quantities on a shared workload. For each characteristic the
+// series hold 1 ("✓ good performance") or 0, decided by measurement:
+//
+//	disk accesses   — within 3× of the best mean node count
+//	response time   — within 3× of the best mean response (λ=5)
+//	speed-up        — response improves ≥1.3× from 5 to 20 disks
+//	scalability     — response under population+disk growth stays within 2×
+//	intra-query par — mean batch size > 1.5 pages
+//	inter-query par — on the 20-disk array, sustains λ=8 with mean
+//	                  response < 5× the λ=1 response (λ=8 keeps the
+//	                  array below saturation so the metric discriminates
+//	                  queueing behavior rather than raw demand)
+func Table5(opt Options) (*Table, error) {
+	opt = opt.fill()
+	n := opt.scaleN(20000)
+	const dim = 5
+	const k = 20
+
+	algs := paperAlgorithms()
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.Name()
+	}
+
+	// Shared measurements.
+	tree5, pts, err := buildTree("gaussian", n, dim, 5, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tree20, _, err := buildTree("gaussian", n, dim, 20, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.SampleQueries(pts, opt.Queries, opt.Seed+5)
+
+	visits := map[string]float64{}
+	batchMean := map[string]float64{}
+	resp5L5 := map[string]float64{}
+	resp20L5 := map[string]float64{}
+	resp20L1 := map[string]float64{}
+	resp20L8 := map[string]float64{}
+	d := query.Driver{Tree: tree5}
+	for _, alg := range algs {
+		var v, b float64
+		for _, q := range queries {
+			_, s := d.Run(alg, q, k, query.Options{})
+			v += float64(s.NodesVisited)
+			b += float64(s.NodesVisited) / float64(s.Batches)
+		}
+		visits[alg.Name()] = v / float64(len(queries))
+		batchMean[alg.Name()] = b / float64(len(queries))
+		if resp5L5[alg.Name()], err = meanResponse(tree5, alg, queries, k, 5, opt.Seed); err != nil {
+			return nil, err
+		}
+		if resp20L5[alg.Name()], err = meanResponse(tree20, alg, queries, k, 5, opt.Seed); err != nil {
+			return nil, err
+		}
+		if resp20L1[alg.Name()], err = meanResponse(tree20, alg, queries, k, 1, opt.Seed); err != nil {
+			return nil, err
+		}
+		if resp20L8[alg.Name()], err = meanResponse(tree20, alg, queries, k, 8, opt.Seed); err != nil {
+			return nil, err
+		}
+	}
+
+	minOf := func(m map[string]float64) float64 {
+		best := 0.0
+		first := true
+		for _, v := range m {
+			if first || v < best {
+				best, first = v, false
+			}
+		}
+		return best
+	}
+	bestVisits := minOf(visits)
+	bestResp := minOf(resp5L5)
+
+	rows := []struct {
+		label string
+		good  func(name string) bool
+	}{
+		{"disk accesses", func(a string) bool { return visits[a] <= 3*bestVisits }},
+		{"mean response time", func(a string) bool { return resp5L5[a] <= 3*bestResp }},
+		{"speed-up", func(a string) bool { return resp5L5[a]/resp20L5[a] >= 1.3 }},
+		{"scalability", func(a string) bool { return resp20L5[a] <= 2*resp5L5[a] }},
+		{"intraquery parallelism", func(a string) bool { return batchMean[a] > 1.5 }},
+		{"interquery parallelism", func(a string) bool { return resp20L8[a] < 5*resp20L1[a] }},
+	}
+
+	t := &Table{
+		ID:     "table5",
+		Title:  "Qualitative comparison of algorithms (1 = good performance, measured)",
+		XLabel: "characteristic#",
+		YLabel: "1 = good (the paper's ✓)",
+		Notes: []string{
+			fmt.Sprintf("derived from measurements: gaussian %d pts, 5-d, k=%d, queries=%d", n, k, len(queries)),
+		},
+	}
+	for i, row := range rows {
+		t.X = append(t.X, float64(i+1))
+		t.Notes = append(t.Notes, fmt.Sprintf("characteristic %d: %s", i+1, row.label))
+	}
+	for _, name := range names {
+		ys := make([]float64, len(rows))
+		for i, row := range rows {
+			if row.good(name) {
+				ys[i] = 1
+			}
+		}
+		t.AddSeries(name, ys)
+	}
+	return t, nil
+}

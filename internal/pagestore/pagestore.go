@@ -1,0 +1,315 @@
+// Package pagestore serializes R*-tree nodes to fixed-size disk pages and
+// provides a Store implementation backed by those pages. A node occupies
+// exactly one page (the paper's assumption: "each node of the tree
+// corresponds to one disk page", §2.1, and the RAID-0 striping unit is a
+// disk block, §2.2).
+//
+// The on-page layout is:
+//
+//	offset 0   uint8   magic (0xA5)
+//	offset 1   uint8   version (1 = rect entries, 2 = SR sphere entries)
+//	offset 2   uint16  level (0 = leaf)
+//	offset 4   uint16  entry count
+//	offset 6   uint16  dimension
+//	offset 8   uint64  page id
+//	offset 16  entries; each entry is
+//	           dim*8 bytes float64 lo corner
+//	           dim*8 bytes float64 hi corner
+//	           8 bytes ref (child page for internal, object id for leaf)
+//	           4 bytes uint32 subtree object count
+//	           [version 2 only] dim*8 bytes sphere center + 8 bytes radius
+//
+// The decoded image lives in RAM (the simulated machine holds its
+// directory working set in memory; physical read timing is modelled by
+// the simulator). The encoded shadow guarantees that every node the tree
+// builds actually fits its page and enables snapshot/restore.
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+const (
+	magic         = 0xA5
+	versionRect   = 1 // rectangle-only entries (plain R*-tree)
+	versionSphere = 2 // SR layout: entries carry a bounding sphere too
+	headerSize    = 16
+)
+
+// Codec encodes and decodes nodes for a fixed page size and
+// dimensionality. Spheres selects the SR-tree on-page layout, where
+// each entry additionally stores a dim-float64 sphere center and a
+// float64 radius.
+type Codec struct {
+	Dim      int
+	PageSize int
+	Spheres  bool
+}
+
+// EntrySize returns the on-page size of one entry.
+func (c Codec) EntrySize() int {
+	n := c.Dim*16 + 12
+	if c.Spheres {
+		n += c.Dim*8 + 8
+	}
+	return n
+}
+
+func (c Codec) version() byte {
+	if c.Spheres {
+		return versionSphere
+	}
+	return versionRect
+}
+
+// Capacity returns the number of entries that fit on one page.
+func (c Codec) Capacity() int { return (c.PageSize - headerSize) / c.EntrySize() }
+
+// Encode serializes n into a fresh page-sized buffer. It fails when the
+// node holds more entries than fit on a page or an entry has the wrong
+// dimensionality.
+func (c Codec) Encode(n *rtree.Node) ([]byte, error) {
+	if len(n.Entries) > c.Capacity() {
+		return nil, fmt.Errorf("pagestore: node %d: %d entries exceed page capacity %d",
+			n.ID, len(n.Entries), c.Capacity())
+	}
+	buf := make([]byte, c.PageSize)
+	buf[0] = magic
+	buf[1] = c.version()
+	binary.LittleEndian.PutUint16(buf[2:], uint16(n.Level))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(n.Entries)))
+	binary.LittleEndian.PutUint16(buf[6:], uint16(c.Dim))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(n.ID))
+	off := headerSize
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if e.Rect.Dim() != c.Dim {
+			return nil, fmt.Errorf("pagestore: node %d entry %d: dim %d, codec dim %d",
+				n.ID, i, e.Rect.Dim(), c.Dim)
+		}
+		for d := 0; d < c.Dim; d++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Lo[d]))
+			off += 8
+		}
+		for d := 0; d < c.Dim; d++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Hi[d]))
+			off += 8
+		}
+		var ref uint64
+		if n.IsLeaf() {
+			ref = uint64(e.Object)
+		} else {
+			ref = uint64(e.Child)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], ref)
+		off += 8
+		if e.Count < 0 || e.Count > math.MaxUint32 {
+			return nil, fmt.Errorf("pagestore: node %d entry %d: count %d out of range", n.ID, i, e.Count)
+		}
+		binary.LittleEndian.PutUint32(buf[off:], uint32(e.Count))
+		off += 4
+		if c.Spheres {
+			if !e.Sphere.Valid() || e.Sphere.Center.Dim() != c.Dim {
+				return nil, fmt.Errorf("pagestore: node %d entry %d: missing or mismatched sphere", n.ID, i)
+			}
+			for d := 0; d < c.Dim; d++ {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Sphere.Center[d]))
+				off += 8
+			}
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Sphere.Radius))
+			off += 8
+		}
+	}
+	return buf, nil
+}
+
+// Decode reconstructs a node from a page image.
+func (c Codec) Decode(buf []byte) (*rtree.Node, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("pagestore: page too short: %d bytes", len(buf))
+	}
+	if buf[0] != magic {
+		return nil, fmt.Errorf("pagestore: bad magic 0x%02x", buf[0])
+	}
+	if buf[1] != c.version() {
+		return nil, fmt.Errorf("pagestore: page version %d, codec expects %d", buf[1], c.version())
+	}
+	level := int(binary.LittleEndian.Uint16(buf[2:]))
+	count := int(binary.LittleEndian.Uint16(buf[4:]))
+	dim := int(binary.LittleEndian.Uint16(buf[6:]))
+	if dim != c.Dim {
+		return nil, fmt.Errorf("pagestore: page dim %d, codec dim %d", dim, c.Dim)
+	}
+	if count > c.Capacity() {
+		return nil, fmt.Errorf("pagestore: entry count %d exceeds capacity %d", count, c.Capacity())
+	}
+	n := &rtree.Node{
+		ID:      rtree.PageID(binary.LittleEndian.Uint64(buf[8:])),
+		Level:   level,
+		Entries: make([]rtree.Entry, count),
+	}
+	off := headerSize
+	for i := 0; i < count; i++ {
+		lo := make(geom.Point, dim)
+		hi := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for d := 0; d < dim; d++ {
+			hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		ref := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		cnt := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		e := rtree.Entry{Rect: geom.Rect{Lo: lo, Hi: hi}, Count: cnt}
+		if c.Spheres {
+			center := make(geom.Point, dim)
+			for d := 0; d < dim; d++ {
+				center[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			radius := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			e.Sphere = geom.Sphere{Center: center, Radius: radius}
+		}
+		if level == 0 {
+			e.Object = rtree.ObjectID(ref)
+		} else {
+			e.Child = rtree.PageID(ref)
+		}
+		n.Entries[i] = e
+	}
+	return n, nil
+}
+
+// PagedStore is an rtree.Store whose nodes shadow into encoded
+// fixed-size pages on every Update. The decoded working set stays in
+// memory; the encoded image proves page-fit and supports Snapshot.
+type PagedStore struct {
+	codec  Codec
+	nodes  map[rtree.PageID]*rtree.Node
+	pages  map[rtree.PageID][]byte
+	nextID rtree.PageID
+
+	Encodes uint64 // write-backs performed
+	Bytes   int    // total encoded bytes held
+}
+
+// NewPagedStore creates a store for pages of the given size and
+// dimensionality (rectangle-only layout). It panics if even a minimal
+// node cannot fit, mirroring rtree's capacity floor.
+func NewPagedStore(pageSize, dim int) *PagedStore {
+	return NewPagedStoreEx(pageSize, dim, false)
+}
+
+// NewPagedStoreEx creates a store with the SR-tree sphere layout when
+// spheres is true.
+func NewPagedStoreEx(pageSize, dim int, spheres bool) *PagedStore {
+	c := Codec{Dim: dim, PageSize: pageSize, Spheres: spheres}
+	if c.Capacity() < 4 {
+		panic(fmt.Sprintf("pagestore: page size %d too small for dim %d (capacity %d < 4)",
+			pageSize, dim, c.Capacity()))
+	}
+	return &PagedStore{
+		codec:  c,
+		nodes:  make(map[rtree.PageID]*rtree.Node),
+		pages:  make(map[rtree.PageID][]byte),
+		nextID: 1,
+	}
+}
+
+// Codec returns the store's codec.
+func (s *PagedStore) Codec() Codec { return s.codec }
+
+// Get implements rtree.Store.
+func (s *PagedStore) Get(id rtree.PageID) *rtree.Node {
+	n, ok := s.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("pagestore: unknown page %d", id))
+	}
+	return n
+}
+
+// Allocate implements rtree.Store.
+func (s *PagedStore) Allocate(level int) *rtree.Node {
+	n := &rtree.Node{ID: s.nextID, Level: level}
+	s.nextID++
+	s.nodes[n.ID] = n
+	return n
+}
+
+// Update implements rtree.Store: the node is re-encoded into its page.
+// Encoding failure (node overflow beyond page capacity) panics — it
+// means the tree was configured with a capacity larger than the page
+// holds, a programming error surfaced as early as possible.
+func (s *PagedStore) Update(n *rtree.Node) {
+	buf, err := s.codec.Encode(n)
+	if err != nil {
+		panic(err)
+	}
+	if old, ok := s.pages[n.ID]; ok {
+		s.Bytes -= len(old)
+	}
+	s.pages[n.ID] = buf
+	s.Bytes += len(buf)
+	s.Encodes++
+}
+
+// Free implements rtree.Store.
+func (s *PagedStore) Free(id rtree.PageID) {
+	delete(s.nodes, id)
+	if old, ok := s.pages[id]; ok {
+		s.Bytes -= len(old)
+		delete(s.pages, id)
+	}
+}
+
+// Len implements rtree.Store.
+func (s *PagedStore) Len() int { return len(s.nodes) }
+
+// Page returns the encoded image of a page (nil when the node was never
+// updated).
+func (s *PagedStore) Page(id rtree.PageID) []byte { return s.pages[id] }
+
+// VerifyShadow re-decodes every encoded page and checks it matches the
+// in-memory node. Used by tests and by treestat as a consistency audit.
+func (s *PagedStore) VerifyShadow() error {
+	for id, n := range s.nodes {
+		buf, ok := s.pages[id]
+		if !ok {
+			// Never updated since allocation; an empty node is legal
+			// only for a fresh root.
+			if len(n.Entries) != 0 {
+				return fmt.Errorf("pagestore: page %d has entries but no encoded image", id)
+			}
+			continue
+		}
+		dec, err := s.codec.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("pagestore: page %d: %v", id, err)
+		}
+		if dec.ID != n.ID || dec.Level != n.Level || len(dec.Entries) != len(n.Entries) {
+			return fmt.Errorf("pagestore: page %d: shadow header mismatch", id)
+		}
+		for i := range n.Entries {
+			a, b := n.Entries[i], dec.Entries[i]
+			if !a.Rect.Equal(b.Rect) || a.Child != b.Child || a.Object != b.Object || a.Count != b.Count {
+				return fmt.Errorf("pagestore: page %d entry %d: shadow mismatch", id, i)
+			}
+			if s.codec.Spheres {
+				if !a.Sphere.Center.Equal(b.Sphere.Center) || a.Sphere.Radius != b.Sphere.Radius {
+					return fmt.Errorf("pagestore: page %d entry %d: sphere shadow mismatch", id, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package pagestore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+func TestCodecCapacityMatchesRtree(t *testing.T) {
+	for _, dim := range []int{2, 3, 5, 10, 16} {
+		c := Codec{Dim: dim, PageSize: 4096}
+		if got, want := c.Capacity(), rtree.CapacityForPage(4096, dim); got != want && want > 4 {
+			t.Errorf("dim %d: codec capacity %d, rtree capacity %d", dim, got, want)
+		}
+	}
+}
+
+func randomNode(rnd *rand.Rand, dim, entries int, leaf bool) *rtree.Node {
+	n := &rtree.Node{ID: rtree.PageID(rnd.Intn(1 << 20)), Level: 0}
+	if !leaf {
+		n.Level = 1 + rnd.Intn(5)
+	}
+	for i := 0; i < entries; i++ {
+		lo := make(geom.Point, dim)
+		hi := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			a, b := rnd.NormFloat64()*100, rnd.NormFloat64()*100
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		e := rtree.Entry{Rect: geom.Rect{Lo: lo, Hi: hi}}
+		if leaf {
+			e.Object = rtree.ObjectID(rnd.Int63())
+			e.Count = 1
+		} else {
+			e.Child = rtree.PageID(rnd.Intn(1 << 20))
+			e.Count = rnd.Intn(100000)
+		}
+		n.Entries = append(n.Entries, e)
+	}
+	return n
+}
+
+// Property: Decode(Encode(n)) == n for random nodes of all shapes.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, dimRaw, entRaw uint8, leaf bool) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		dim := int(dimRaw)%10 + 1
+		c := Codec{Dim: dim, PageSize: 4096}
+		entries := int(entRaw) % (c.Capacity() + 1)
+		n := randomNode(rnd, dim, entries, leaf)
+		buf, err := c.Encode(n)
+		if err != nil {
+			return false
+		}
+		if len(buf) != 4096 {
+			return false
+		}
+		dec, err := c.Decode(buf)
+		if err != nil {
+			return false
+		}
+		if dec.ID != n.ID || dec.Level != n.Level || len(dec.Entries) != len(n.Entries) {
+			return false
+		}
+		for i := range n.Entries {
+			a, b := n.Entries[i], dec.Entries[i]
+			if !a.Rect.Equal(b.Rect) || a.Child != b.Child || a.Object != b.Object || a.Count != b.Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	c := Codec{Dim: 2, PageSize: 256} // capacity (256-16)/44 = 5
+	rnd := rand.New(rand.NewSource(1))
+	n := randomNode(rnd, 2, c.Capacity()+1, true)
+	if _, err := c.Encode(n); err == nil {
+		t.Error("Encode accepted overflowing node")
+	}
+}
+
+func TestEncodeRejectsWrongDim(t *testing.T) {
+	c := Codec{Dim: 3, PageSize: 4096}
+	rnd := rand.New(rand.NewSource(2))
+	n := randomNode(rnd, 2, 3, true)
+	if _, err := c.Encode(n); err == nil {
+		t.Error("Encode accepted wrong-dimension entries")
+	}
+}
+
+func TestDecodeRejectsCorruptPages(t *testing.T) {
+	c := Codec{Dim: 2, PageSize: 4096}
+	rnd := rand.New(rand.NewSource(3))
+	buf, err := c.Encode(randomNode(rnd, 2, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := buf[:8]
+	if _, err := c.Decode(short); err == nil {
+		t.Error("Decode accepted truncated page")
+	}
+	badMagic := append([]byte(nil), buf...)
+	badMagic[0] = 0x00
+	if _, err := c.Decode(badMagic); err == nil {
+		t.Error("Decode accepted bad magic")
+	}
+	badVer := append([]byte(nil), buf...)
+	badVer[1] = 99
+	if _, err := c.Decode(badVer); err == nil {
+		t.Error("Decode accepted bad version")
+	}
+	badDim := append([]byte(nil), buf...)
+	badDim[6] = 7
+	if _, err := c.Decode(badDim); err == nil {
+		t.Error("Decode accepted dim mismatch")
+	}
+}
+
+func TestPagedStoreDrivesTree(t *testing.T) {
+	ps := NewPagedStore(4096, 2)
+	cfg := rtree.Config{Dim: 2, MaxEntries: ps.Codec().Capacity()}
+	tr, err := rtree.New(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(4))
+	pts := make([]geom.Point, 3000)
+	for i := range pts {
+		pts[i] = geom.Point{rnd.Float64() * 1000, rnd.Float64() * 1000}
+		if err := tr.InsertPoint(pts[i], rtree.ObjectID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.VerifyShadow(); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Encodes == 0 {
+		t.Error("no pages were encoded")
+	}
+	// Deletes keep the shadow consistent too.
+	for i := 0; i < 1000; i++ {
+		if !tr.DeletePoint(pts[i], rtree.ObjectID(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := ps.VerifyShadow(); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() == 0 || ps.Bytes == 0 {
+		t.Error("store emptied unexpectedly")
+	}
+	// kNN over the paged store must match results over a mem store.
+	q := geom.Point{500, 500}
+	got, _ := tr.NearestNeighbors(q, 10)
+	if len(got) != 10 {
+		t.Fatalf("kNN returned %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].DistSq < got[i-1].DistSq {
+			t.Error("kNN results out of order")
+		}
+	}
+}
+
+func TestPagedStoreTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for tiny page")
+		}
+	}()
+	NewPagedStore(64, 10)
+}
+
+func TestPagedStoreFreeReclaims(t *testing.T) {
+	ps := NewPagedStore(4096, 2)
+	n := ps.Allocate(0)
+	n.Entries = append(n.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{1, 2}), 7))
+	ps.Update(n)
+	if ps.Bytes != 4096 {
+		t.Errorf("bytes = %d", ps.Bytes)
+	}
+	ps.Free(n.ID)
+	if ps.Bytes != 0 || ps.Len() != 0 {
+		t.Error("Free did not reclaim")
+	}
+}

@@ -1,0 +1,163 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// candidate is a directory entry under consideration: a child page with
+// its MBR, subtree object count and the three point-to-MBR metrics.
+type candidate struct {
+	child  rtree.PageID
+	rect   geom.Rect
+	count  int
+	level  int // level of the node the entry points to
+	dminSq float64
+	dmmSq  float64
+	dmaxSq float64
+}
+
+// makeCandidates converts the entries of delivered internal nodes into
+// candidates with their distances from q precomputed. All delivered
+// nodes must share one level (batches are level-homogeneous by
+// construction of the algorithms).
+//
+// On SR-tree entries (valid bounding sphere) the bounds of the two
+// region descriptors are intersected: Dmin is the larger lower bound,
+// Dmax the smaller upper bound, and the pessimistic Dmm is capped by
+// the sphere's Dmax (a sphere guarantees every subtree object — hence
+// at least one — within it). This is the "some modifications" the paper
+// names for supporting the SR-tree family.
+func makeCandidates(q geom.Point, nodes []*rtree.Node) []candidate {
+	var out []candidate
+	for _, n := range nodes {
+		for _, e := range n.Entries {
+			c := candidate{
+				child:  e.Child,
+				rect:   e.Rect,
+				count:  e.Count,
+				level:  n.Level - 1,
+				dminSq: geom.MinDistSq(q, e.Rect),
+				dmmSq:  geom.MinMaxDistSq(q, e.Rect),
+				dmaxSq: geom.MaxDistSq(q, e.Rect),
+			}
+			if e.Sphere.Valid() {
+				if sm := e.Sphere.MinDistSq(q); sm > c.dminSq {
+					c.dminSq = sm
+				}
+				if sM := e.Sphere.MaxDistSq(q); sM < c.dmaxSq {
+					c.dmaxSq = sM
+					if sM < c.dmmSq {
+						c.dmmSq = sM
+					}
+				}
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// lemma1BoundSq computes the paper's Lemma 1 threshold: sort the MBRs by
+// Dmax and find the smallest prefix whose subtree object counts sum to
+// at least k; every one of the k nearest neighbors then lies within the
+// sphere of radius Dmax of the prefix's last MBR. It returns +Inf when
+// the candidates hold fewer than k objects (no bound can be derived).
+func lemma1BoundSq(cands []candidate, k int) float64 {
+	total := 0
+	for _, c := range cands {
+		total += c.count
+	}
+	if total < k {
+		return math.Inf(1)
+	}
+	byDmax := make([]candidate, len(cands))
+	copy(byDmax, cands)
+	sort.Slice(byDmax, func(i, j int) bool { return byDmax[i].dmaxSq < byDmax[j].dmaxSq })
+	cum := 0
+	for _, c := range byDmax {
+		cum += c.count
+		if cum >= k {
+			return c.dmaxSq
+		}
+	}
+	return math.Inf(1) // unreachable given the total check
+}
+
+// sortByDmin orders candidates by increasing Dmin (ties by child page ID
+// for determinism).
+func sortByDmin(cands []candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dminSq != cands[j].dminSq {
+			return cands[i].dminSq < cands[j].dminSq
+		}
+		return cands[i].child < cands[j].child
+	})
+}
+
+// pruneByDmin drops candidates whose Dmin exceeds the threshold
+// (criterion (i): they cannot intersect the query sphere). The input
+// need not be sorted; the relative order of survivors is preserved.
+func pruneByDmin(cands []candidate, dthSq float64) []candidate {
+	out := cands[:0]
+	for _, c := range cands {
+		if c.dminSq <= dthSq {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runStack is the paper's candidate structure: a stack of candidate
+// runs. Each run holds the candidates saved from one expansion step,
+// ordered by increasing Dmin; a guard separates consecutive runs
+// (modelled here by the slice boundary). Deeper-level runs sit above
+// higher-level runs, so refinement continues near the leaves before the
+// search backtracks toward the root.
+type runStack struct {
+	runs [][]candidate
+}
+
+// push adds a run (must already be Dmin-sorted). Empty runs are not
+// stored.
+func (s *runStack) push(run []candidate) {
+	if len(run) > 0 {
+		s.runs = append(s.runs, run)
+	}
+}
+
+// pop removes and returns the top run, or nil when empty.
+func (s *runStack) pop() []candidate {
+	if len(s.runs) == 0 {
+		return nil
+	}
+	top := s.runs[len(s.runs)-1]
+	s.runs = s.runs[:len(s.runs)-1]
+	return top
+}
+
+func (s *runStack) empty() bool { return len(s.runs) == 0 }
+
+// len returns the total number of stacked candidates.
+func (s *runStack) len() int {
+	n := 0
+	for _, r := range s.runs {
+		n += len(r)
+	}
+	return n
+}
+
+// truncateRun applies the paper's guard optimization: scanning a
+// Dmin-sorted run, the first candidate outside the query sphere rejects
+// the remainder of the run wholesale. It returns the surviving prefix.
+func truncateRun(run []candidate, dthSq float64) []candidate {
+	for i, c := range run {
+		if c.dminSq > dthSq {
+			return run[:i]
+		}
+	}
+	return run
+}

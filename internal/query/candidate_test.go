@@ -1,0 +1,159 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+func cand(child int, dmin, dmm, dmax float64, count int) candidate {
+	return candidate{
+		child: rtree.PageID(child), count: count,
+		dminSq: dmin, dmmSq: dmm, dmaxSq: dmax,
+	}
+}
+
+func TestLemma1Bound(t *testing.T) {
+	// Sorted by dmax: counts 3, 4, 5. k=5 needs the first two (3+4 ≥ 5),
+	// so the bound is the 2nd entry's dmax.
+	cands := []candidate{
+		cand(1, 0, 1, 4, 3),
+		cand(2, 1, 2, 9, 4),
+		cand(3, 2, 3, 16, 5),
+	}
+	if got := lemma1BoundSq(cands, 5); got != 9 {
+		t.Errorf("lemma1(k=5) = %g, want 9", got)
+	}
+	if got := lemma1BoundSq(cands, 1); got != 4 {
+		t.Errorf("lemma1(k=1) = %g, want 4", got)
+	}
+	if got := lemma1BoundSq(cands, 12); got != 16 {
+		t.Errorf("lemma1(k=12) = %g, want 16", got)
+	}
+	// Fewer than k objects: no bound.
+	if got := lemma1BoundSq(cands, 13); !math.IsInf(got, 1) {
+		t.Errorf("lemma1(k=13) = %g, want +Inf", got)
+	}
+	if got := lemma1BoundSq(nil, 1); !math.IsInf(got, 1) {
+		t.Errorf("lemma1(empty) = %g, want +Inf", got)
+	}
+}
+
+func TestLemma1UnsortedInput(t *testing.T) {
+	// The bound must not depend on input order.
+	cands := []candidate{
+		cand(3, 2, 3, 16, 5),
+		cand(1, 0, 1, 4, 3),
+		cand(2, 1, 2, 9, 4),
+	}
+	if got := lemma1BoundSq(cands, 5); got != 9 {
+		t.Errorf("unsorted lemma1 = %g, want 9", got)
+	}
+	// And the input slice must not be reordered.
+	if cands[0].child != 3 {
+		t.Error("lemma1BoundSq mutated its input")
+	}
+}
+
+func TestPruneByDmin(t *testing.T) {
+	cands := []candidate{
+		cand(1, 1, 0, 0, 1),
+		cand(2, 5, 0, 0, 1),
+		cand(3, 2, 0, 0, 1),
+	}
+	out := pruneByDmin(cands, 2)
+	if len(out) != 2 || out[0].child != 1 || out[1].child != 3 {
+		t.Errorf("prune result %+v", out)
+	}
+}
+
+func TestRunStackLIFO(t *testing.T) {
+	var s runStack
+	s.push([]candidate{cand(1, 0, 0, 0, 1)})
+	s.push(nil) // empty runs vanish
+	s.push([]candidate{cand(2, 0, 0, 0, 1), cand(3, 0, 0, 0, 1)})
+	if s.len() != 3 {
+		t.Errorf("stack len %d, want 3", s.len())
+	}
+	top := s.pop()
+	if len(top) != 2 || top[0].child != 2 {
+		t.Errorf("pop = %+v", top)
+	}
+	if s.pop()[0].child != 1 {
+		t.Error("wrong second pop")
+	}
+	if !s.empty() || s.pop() != nil {
+		t.Error("stack should be empty")
+	}
+}
+
+func TestTruncateRun(t *testing.T) {
+	run := []candidate{
+		cand(1, 1, 0, 0, 1),
+		cand(2, 4, 0, 0, 1),
+		cand(3, 9, 0, 0, 1),
+	}
+	if got := truncateRun(run, 5); len(got) != 2 {
+		t.Errorf("truncate at 5: %d survivors", len(got))
+	}
+	if got := truncateRun(run, 0.5); len(got) != 0 {
+		t.Errorf("truncate at 0.5: %d survivors", len(got))
+	}
+	if got := truncateRun(run, 100); len(got) != 3 {
+		t.Errorf("truncate at 100: %d survivors", len(got))
+	}
+}
+
+func TestSortByDminDeterministicTies(t *testing.T) {
+	cands := []candidate{
+		cand(9, 1, 0, 0, 1),
+		cand(3, 1, 0, 0, 1),
+		cand(5, 0, 0, 0, 1),
+	}
+	sortByDmin(cands)
+	if cands[0].child != 5 || cands[1].child != 3 || cands[2].child != 9 {
+		t.Errorf("tie order: %+v", cands)
+	}
+}
+
+func TestMakeCandidatesSphereTightening(t *testing.T) {
+	q := geom.Point{0, 0}
+	rect := geom.NewRect(geom.Point{3, 0}, geom.Point{5, 0})
+	// A sphere tighter than the rect on both sides.
+	sph := geom.Sphere{Center: geom.Point{4, 0}, Radius: 0.5}
+	n := &rtree.Node{ID: 1, Level: 1, Entries: []rtree.Entry{
+		{Rect: rect, Sphere: sph, Child: 2, Count: 10},
+	}}
+	c := makeCandidates(q, []*rtree.Node{n})[0]
+	// Rect dmin² = 9; sphere dmin = 3.5 → 12.25 (tighter lower bound).
+	if math.Abs(c.dminSq-12.25) > 1e-9 {
+		t.Errorf("dmin² = %g, want 12.25", c.dminSq)
+	}
+	// Rect dmax² = 25; sphere dmax = 4.5 → 20.25 (tighter upper bound).
+	if math.Abs(c.dmaxSq-20.25) > 1e-9 {
+		t.Errorf("dmax² = %g, want 20.25", c.dmaxSq)
+	}
+	// Dmm capped by the sphere's dmax.
+	if c.dmmSq > 20.25+1e-9 {
+		t.Errorf("dmm² = %g exceeds sphere cap", c.dmmSq)
+	}
+	// Level recorded as the child's level.
+	if c.level != 0 {
+		t.Errorf("level = %d", c.level)
+	}
+}
+
+func TestCPUCostModel(t *testing.T) {
+	if got := cpuCost(10, 0); got != 20 {
+		t.Errorf("scan-only cost = %g, want 20", got)
+	}
+	// 2N + 3M·log2(M): N=10, M=8 → 20 + 24·3 = 92.
+	if got := cpuCost(10, 8); got != 92 {
+		t.Errorf("cost = %g, want 92", got)
+	}
+	if got := cpuCost(0, 1); got != 0 {
+		t.Errorf("single sorted item should cost nothing: %g", got)
+	}
+}

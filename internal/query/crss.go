@@ -1,0 +1,193 @@
+package query
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/rtree"
+)
+
+// CRSS is the Candidate-Reduction Similarity Search, the paper's
+// contribution (§3.3). It interleaves breadth-first and depth-first
+// traversal of the parallel R*-tree:
+//
+//   - While descending (ADAPTIVE mode) it derives a threshold distance
+//     Dth from Lemma 1 — the Dmax-sorted prefix of entries whose subtree
+//     counts cover k objects — and applies the candidate-reduction
+//     criterion: entries with Dmin > Dth are rejected, entries with
+//     Dmm < Dth are activated, and the rest are saved in the candidate
+//     stack for possible later use.
+//   - The activation batch is bounded: at least enough MBRs to guarantee
+//     k objects (the paper's l), at most one per disk (u = NumOfDisks),
+//     balancing parallelism against wasted fetches.
+//   - When data pages arrive (UPDATE mode) the running k-best list
+//     tightens Dth to the actual k-th distance, and the next candidate
+//     run is popped from the stack (NORMAL mode). Runs are Dmin-sorted,
+//     so the first candidate outside the query sphere rejects the rest
+//     of its run (the guard optimization).
+//
+// Termination (TERMINATE mode) occurs when no requests are outstanding
+// and the candidate stack has drained.
+type CRSS struct {
+	// ActivationBound overrides the activation upper bound u. Zero (the
+	// paper's choice) uses the number of disks; 1 degenerates toward
+	// BBSS-like sequential fetching, a large value toward FPSS. Used by
+	// the activation-bound ablation.
+	ActivationBound int
+}
+
+// Name implements Algorithm.
+func (CRSS) Name() string { return "CRSS" }
+
+// NewExecution implements Algorithm.
+func (c CRSS) NewExecution(t *parallel.Tree, q geom.Point, k int, opts Options) Execution {
+	u := c.ActivationBound
+	if u <= 0 {
+		u = t.NumDisks()
+	}
+	return &crssExec{
+		base:  newBase(t, q, k, opts),
+		best:  newBestList(k),
+		dthSq: math.Inf(1),
+		u:     u,
+	}
+}
+
+type crssExec struct {
+	base
+	best          *bestList
+	dthSq         float64
+	stack         runStack
+	u             int // activation upper bound: the number of disks
+	started       bool
+	reachedLeaves bool
+}
+
+func (e *crssExec) Results() []Neighbor {
+	r := e.best.results()
+	sortNeighbors(r)
+	return r
+}
+
+func (e *crssExec) Step(delivered []*rtree.Node) StepResult {
+	if !e.started {
+		e.started = true
+		e.tracef("CRSS start: k=%d, u=%d, read root", e.k, e.u)
+		return e.finishStep([]PageRequest{e.request(e.tree.Root(), e.tree.Height()-1)}, 0, 0)
+	}
+
+	scanned, sorted := 0, 0
+
+	if len(delivered) > 0 {
+		if delivered[0].IsLeaf() {
+			// UPDATE mode: data objects tighten the threshold.
+			e.reachedLeaves = true
+			for _, n := range delivered {
+				scanned += len(n.Entries)
+				for _, en := range n.Entries {
+					d := geom.MinDistSq(e.q, en.Rect)
+					if d <= e.best.kthDistSq() {
+						e.best.offer(Neighbor{Object: en.Object, Rect: en.Rect, DistSq: d})
+					}
+				}
+			}
+			if kth := e.best.kthDistSq(); kth < e.dthSq {
+				e.dthSq = kth
+			}
+			e.tracef("UPDATE: %d data pages, Dth²=%.6g, stack=%d candidates",
+				len(delivered), e.dthSq, e.stack.len())
+		} else {
+			// ADAPTIVE (before the leaf level) or NORMAL: process the
+			// fetched directory pages.
+			cands := makeCandidates(e.q, delivered)
+			scanned += len(cands)
+			if b := lemma1BoundSq(cands, e.k); b < e.dthSq {
+				e.dthSq = b // adapt the threshold from this level
+			}
+			cands = pruneByDmin(cands, e.dthSq) // criterion (i): reject
+			sortByDmin(cands)
+			sorted += len(cands)
+
+			// Criterion (ii)/(iii): split into active and saved.
+			var actives, saved []candidate
+			for _, c := range cands {
+				if c.dmmSq < e.dthSq {
+					actives = append(actives, c)
+				} else {
+					saved = append(saved, c)
+				}
+			}
+
+			// Upper bound u: demote the farthest actives back to the
+			// candidate set.
+			if len(actives) > e.u {
+				saved = append(saved, actives[e.u:]...)
+				sortByDmin(saved)
+				actives = actives[:e.u]
+			}
+			// Lower bound l: guarantee that the activated MBRs contain
+			// at least k objects, promoting the nearest saved
+			// candidates while disks remain.
+			covered := 0
+			for _, a := range actives {
+				covered += a.count
+			}
+			for covered < e.k && len(actives) < e.u && len(saved) > 0 {
+				p := saved[0]
+				saved = saved[1:]
+				actives = append(actives, p)
+				covered += p.count
+			}
+			// Ensure progress: if criterion (ii) activated nothing and
+			// counts already cover k (possible when every MBR has
+			// Dmm >= Dth), activate the nearest candidate anyway.
+			if len(actives) == 0 && len(saved) > 0 {
+				actives = append(actives, saved[0])
+				saved = saved[1:]
+			}
+
+			e.stack.push(saved)
+			mode := "NORMAL"
+			if !e.reachedLeaves {
+				mode = "ADAPTIVE"
+			}
+			e.tracef("%s: Dth²=%.6g, %d scanned → %d active, %d saved",
+				mode, e.dthSq, scanned, len(actives), len(saved))
+			if len(actives) > 0 {
+				reqs := make([]PageRequest, 0, len(actives))
+				for _, a := range actives {
+					reqs = append(reqs, e.request(a.child, a.level))
+				}
+				return e.finishStep(reqs, scanned, sorted)
+			}
+		}
+	}
+
+	// NORMAL mode / after UPDATE: pop candidate runs until one yields an
+	// activation batch.
+	for !e.stack.empty() {
+		run := e.stack.pop()
+		scanned += len(run)
+		run = truncateRun(run, e.dthSq) // guard: reject the run's tail
+		if len(run) == 0 {
+			continue
+		}
+		cut := e.u
+		if cut > len(run) {
+			cut = len(run)
+		}
+		actives := run[:cut]
+		e.stack.push(run[cut:]) // remainder stays a run at the top
+		e.tracef("NORMAL: popped run, %d survived guard, activating %d", len(run), len(actives))
+		reqs := make([]PageRequest, 0, len(actives))
+		for _, a := range actives {
+			reqs = append(reqs, e.request(a.child, a.level))
+		}
+		return e.finishStep(reqs, scanned, sorted)
+	}
+
+	e.done = true
+	e.tracef("TERMINATE: %d results, %d nodes visited", len(e.best.items), e.stats.NodesVisited)
+	return e.finishStep(nil, scanned, sorted)
+}

@@ -1,0 +1,281 @@
+// Package query implements the four disk-array k-NN algorithms of
+// Papadopoulos & Manolopoulos (SIGMOD 1998, Section 3) over a parallel
+// R*-tree:
+//
+//   - BBSS — Branch-and-Bound Similarity Search (Roussopoulos et al.,
+//     SIGMOD 1995): depth-first, one page fetched at a time, no
+//     intra-query parallelism.
+//   - FPSS — Full-Parallel Similarity Search: breadth-first, every
+//     candidate page of a level fetched in one parallel batch.
+//   - CRSS — Candidate-Reduction Similarity Search (the paper's
+//     contribution): a BFS/DFS hybrid driven by the Lemma-1 threshold,
+//     the candidate-reduction criterion and a stack of candidate runs,
+//     with the activation batch bounded by the number of disks.
+//   - WOPTSS — the hypothetical Weak-OPTimal algorithm: given the exact
+//     k-th neighbor distance by an oracle, it fetches only pages whose
+//     MBR intersects the query sphere (the lower bound for any
+//     algorithm).
+//
+// Every algorithm is expressed as a stage-driven Execution: the driver —
+// either the immediate Driver below (used for node-access experiments
+// and correctness tests) or the event-driven system simulator (package
+// simarray) — fetches the requested pages and hands them back, so the
+// same algorithm code is timed under queueing, seeks and bus contention
+// without modification.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bufferpool"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/rtree"
+)
+
+// PageRequest asks the driver to fetch one node from the array. Pages
+// is the number of sequential disk pages the node occupies (1 for
+// ordinary nodes, more for X-tree supernodes).
+type PageRequest struct {
+	Page     rtree.PageID
+	Disk     int
+	Cylinder int
+	Pages    int
+	Cached   bool // memory-resident (no disk I/O); still a node visit
+}
+
+// StepResult is what an Execution returns from one processing stage.
+type StepResult struct {
+	// Requests lists the pages to fetch before the next step. Pages on
+	// different disks are fetched in parallel; pages on the same disk
+	// queue up.
+	Requests []PageRequest
+	// Instructions is the CPU work of this stage under the paper's cost
+	// model: 2N + 3M·log2(M) instructions for scanning N entries and
+	// sorting M survivors (§4.1).
+	Instructions float64
+}
+
+// Execution is a stage-driven k-NN query run.
+type Execution interface {
+	// Step processes pages delivered for the previous request batch
+	// (nil on the first call) and returns the next batch. An empty
+	// request list means the query has completed.
+	Step(delivered []*rtree.Node) StepResult
+	// Done reports whether the query has produced its final answer.
+	Done() bool
+	// Results returns the k nearest neighbors, ordered by distance.
+	// Valid once Done.
+	Results() []Neighbor
+	// Stats returns access counters accumulated so far.
+	Stats() *Stats
+}
+
+// Neighbor is one answer: an object and its squared distance.
+type Neighbor struct {
+	Object rtree.ObjectID
+	Rect   geom.Rect
+	DistSq float64
+}
+
+// Stats aggregates the per-query counters the experiments report.
+type Stats struct {
+	NodesVisited int   // pages delivered (the paper's "visited nodes")
+	DiskAccesses int   // pages that caused physical reads (excludes cached)
+	Batches      int   // parallel fetch rounds
+	MaxParallel  int   // largest single batch
+	PerDisk      []int // physical reads per disk
+	Scanned      int   // total entries scanned (N in the CPU model)
+	Sorted       int   // total entries sorted  (M in the CPU model)
+	Instructions float64
+}
+
+// cpuCost is the paper's CPU model: 2N + 3M·log2(M) instructions.
+func cpuCost(scanned, sorted int) float64 {
+	c := 2 * float64(scanned)
+	if sorted > 1 {
+		c += 3 * float64(sorted) * math.Log2(float64(sorted))
+	}
+	return c
+}
+
+// Options tunes execution behavior shared by all algorithms.
+type Options struct {
+	// CachedLevels pins the top CachedLevels levels of the tree in
+	// memory: pages there are visited without disk requests. 0
+	// reproduces the paper (every page, including the root, is read
+	// from its disk).
+	CachedLevels int
+	// SharedCache, when non-nil, is an LRU page cache shared across
+	// queries (a buffer pool): a request for a cached page skips disk
+	// I/O, and every fetched page enters the cache. The paper's model
+	// has no buffer pool; this drives the inter-query caching ablation.
+	SharedCache *bufferpool.Pool[rtree.PageID, struct{}]
+	// Trace, when non-nil, receives one line per algorithm stage —
+	// CRSS reports its operating mode transitions (ADAPTIVE, UPDATE,
+	// NORMAL, TERMINATE; the paper's Figure 6 state machine), the other
+	// algorithms their expansion decisions. For debugging and teaching;
+	// nil costs nothing.
+	Trace func(line string)
+}
+
+// Algorithm builds executions; implementations are stateless and safe to
+// reuse across queries.
+type Algorithm interface {
+	Name() string
+	NewExecution(t *parallel.Tree, q geom.Point, k int, opts Options) Execution
+}
+
+// base carries the plumbing shared by all four algorithms.
+type base struct {
+	tree  *parallel.Tree
+	q     geom.Point
+	k     int
+	opts  Options
+	stats Stats
+	done  bool
+}
+
+func newBase(t *parallel.Tree, q geom.Point, k int, opts Options) base {
+	return base{
+		tree:  t,
+		q:     q,
+		k:     k,
+		opts:  opts,
+		stats: Stats{PerDisk: make([]int, t.NumDisks())},
+	}
+}
+
+func (b *base) Done() bool    { return b.done }
+func (b *base) Stats() *Stats { return &b.stats }
+
+// tracef emits a trace line when tracing is enabled.
+func (b *base) tracef(format string, args ...interface{}) {
+	if b.opts.Trace != nil {
+		b.opts.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// request builds a PageRequest for a page, honoring level caching, and
+// accounts for the upcoming visit.
+func (b *base) request(id rtree.PageID, level int) PageRequest {
+	pl, ok := b.tree.Placement(id)
+	if !ok {
+		panic(fmt.Sprintf("query: page %d unplaced", id))
+	}
+	cached := b.opts.CachedLevels > 0 && level >= b.tree.Height()-b.opts.CachedLevels
+	if !cached && b.opts.SharedCache != nil {
+		if _, hit := b.opts.SharedCache.Get(id); hit {
+			cached = true
+		} else {
+			// The page is about to be fetched; admit it so subsequent
+			// queries (and stages) find it resident.
+			b.opts.SharedCache.Put(id, struct{}{})
+		}
+	}
+	pages := b.tree.Store().Get(id).Pages(b.tree.Config().MaxEntries)
+	return PageRequest{Page: id, Disk: pl.Disk, Cylinder: pl.Cylinder, Pages: pages, Cached: cached}
+}
+
+// account records a finished batch in the stats.
+func (b *base) account(reqs []PageRequest) {
+	if len(reqs) == 0 {
+		return
+	}
+	b.stats.Batches++
+	if len(reqs) > b.stats.MaxParallel {
+		b.stats.MaxParallel = len(reqs)
+	}
+	for _, r := range reqs {
+		b.stats.NodesVisited++
+		if !r.Cached {
+			b.stats.DiskAccesses += r.Pages
+			b.stats.PerDisk[r.Disk] += r.Pages
+		}
+	}
+}
+
+// finishStep tallies CPU cost for a stage and stamps the result.
+func (b *base) finishStep(reqs []PageRequest, scanned, sorted int) StepResult {
+	b.stats.Scanned += scanned
+	b.stats.Sorted += sorted
+	inst := cpuCost(scanned, sorted)
+	b.stats.Instructions += inst
+	b.account(reqs)
+	return StepResult{Requests: reqs, Instructions: inst}
+}
+
+// bestList maintains the k current best object distances, sorted.
+type bestList struct {
+	k     int
+	items []Neighbor
+}
+
+func newBestList(k int) *bestList { return &bestList{k: k} }
+
+// offer inserts a candidate object, keeping only the k nearest.
+func (bl *bestList) offer(n Neighbor) {
+	i := sort.Search(len(bl.items), func(i int) bool { return bl.items[i].DistSq > n.DistSq })
+	bl.items = append(bl.items, Neighbor{})
+	copy(bl.items[i+1:], bl.items[i:])
+	bl.items[i] = n
+	if len(bl.items) > bl.k {
+		bl.items = bl.items[:bl.k]
+	}
+}
+
+// kthDistSq returns the current k-th best squared distance, or +Inf when
+// fewer than k objects have been seen.
+func (bl *bestList) kthDistSq() float64 {
+	if len(bl.items) < bl.k {
+		return math.Inf(1)
+	}
+	return bl.items[len(bl.items)-1].DistSq
+}
+
+func (bl *bestList) results() []Neighbor {
+	out := make([]Neighbor, len(bl.items))
+	copy(out, bl.items)
+	return out
+}
+
+// Driver executes a query to completion with immediate page delivery —
+// no timing, exact access accounting. It is the engine behind the
+// effectiveness experiments (Figures 8 and 9) and all correctness tests.
+type Driver struct {
+	Tree *parallel.Tree
+}
+
+// Run executes alg on the driver's tree and returns the results and
+// access statistics.
+func (d Driver) Run(alg Algorithm, q geom.Point, k int, opts Options) ([]Neighbor, *Stats) {
+	exec := alg.NewExecution(d.Tree, q, k, opts)
+	var delivered []*rtree.Node
+	for {
+		sr := exec.Step(delivered)
+		if len(sr.Requests) == 0 {
+			if !exec.Done() {
+				panic(fmt.Sprintf("query: %s returned no requests but is not done", alg.Name()))
+			}
+			break
+		}
+		delivered = delivered[:0]
+		for _, r := range sr.Requests {
+			delivered = append(delivered, d.Tree.Store().Get(r.Page))
+		}
+	}
+	return exec.Results(), exec.Stats()
+}
+
+// sortNeighbors orders results by distance then object ID, the canonical
+// result order used across algorithms so outputs are comparable.
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].DistSq != ns[j].DistSq {
+			return ns[i].DistSq < ns[j].DistSq
+		}
+		return ns[i].Object < ns[j].Object
+	})
+}

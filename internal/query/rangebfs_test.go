@@ -1,0 +1,67 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestRangeBFSExact(t *testing.T) {
+	pts := dataset.CaliforniaLike(5000, 71)
+	tree := buildTree(t, pts, 2, 8, 16)
+	d := Driver{Tree: tree}
+	for _, eps := range []float64{0.005, 0.02, 0.1} {
+		for _, q := range dataset.SampleQueries(pts, 8, 72) {
+			got, stats := d.Run(RangeBFS{Eps: eps}, q, 0, Options{})
+			want := bruteforce.Range(pts, q, eps)
+			if len(got) != len(want) {
+				t.Fatalf("eps=%g: got %d, want %d", eps, len(got), len(want))
+			}
+			if stats.NodesVisited <= 0 {
+				t.Error("no accesses recorded")
+			}
+		}
+	}
+}
+
+func TestRangeBFSEmptyResult(t *testing.T) {
+	pts := dataset.Uniform(500, 2, 73)
+	tree := buildTree(t, pts, 2, 4, 8)
+	d := Driver{Tree: tree}
+	// A query far outside the data space with a tiny radius finds
+	// nothing but still terminates cleanly.
+	got, stats := d.Run(RangeBFS{Eps: 1e-6}, geom.Point{50, 50}, 0, Options{})
+	if len(got) != 0 {
+		t.Errorf("expected empty result, got %d", len(got))
+	}
+	if stats.NodesVisited != 1 { // the root is always read
+		t.Errorf("visited %d nodes, want 1", stats.NodesVisited)
+	}
+}
+
+func TestRangeBFSOnSRTree(t *testing.T) {
+	pts := dataset.Clustered(2000, 6, 8, 75)
+	tree := buildSR(t, pts, 6, 6)
+	d := Driver{Tree: tree}
+	for _, q := range dataset.SampleQueries(pts, 5, 76) {
+		eps := 0.15
+		got, _ := d.Run(RangeBFS{Eps: eps}, q, 0, Options{})
+		want := bruteforce.Range(pts, q, eps)
+		if len(got) != len(want) {
+			t.Fatalf("SR range: got %d, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestRangeBFSFullyParallelPerLevel(t *testing.T) {
+	pts := dataset.Uniform(4000, 2, 77)
+	tree := buildTree(t, pts, 2, 10, 16)
+	d := Driver{Tree: tree}
+	_, stats := d.Run(RangeBFS{Eps: 0.2}, geom.Point{0.5, 0.5}, 0, Options{})
+	// BFS: one batch per level.
+	if stats.Batches != tree.Height() {
+		t.Errorf("batches %d != height %d", stats.Batches, tree.Height())
+	}
+}

@@ -1,0 +1,54 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestCRSSTraceShowsModeMachine reconstructs the paper's Figure 5/6
+// walk-through in miniature: tracing a CRSS run must show the state
+// machine — start, ADAPTIVE descent, UPDATE at the leaf level, NORMAL
+// candidate-run pops, TERMINATE — in that causal order.
+func TestCRSSTraceShowsModeMachine(t *testing.T) {
+	pts := dataset.CaliforniaLike(3000, 131)
+	tree := buildTree(t, pts, 2, 5, 8) // small fanout forces a deep tree
+	var lines []string
+	opts := Options{Trace: func(l string) { lines = append(lines, l) }}
+	d := Driver{Tree: tree}
+	res, _ := d.Run(CRSS{}, dataset.SampleQueries(pts, 1, 132)[0], 4, opts)
+	if len(res) != 4 {
+		t.Fatalf("%d results", len(res))
+	}
+	trace := strings.Join(lines, "\n")
+	for _, mode := range []string{"CRSS start", "ADAPTIVE", "UPDATE", "TERMINATE"} {
+		if !strings.Contains(trace, mode) {
+			t.Errorf("trace missing %q:\n%s", mode, trace)
+		}
+	}
+	// Causal order: start before ADAPTIVE before UPDATE before TERMINATE.
+	iStart := strings.Index(trace, "CRSS start")
+	iAdapt := strings.Index(trace, "ADAPTIVE")
+	iUpd := strings.Index(trace, "UPDATE")
+	iTerm := strings.Index(trace, "TERMINATE")
+	if !(iStart < iAdapt && iAdapt < iUpd && iUpd < iTerm) {
+		t.Errorf("mode order wrong: start=%d adaptive=%d update=%d terminate=%d",
+			iStart, iAdapt, iUpd, iTerm)
+	}
+	// TERMINATE must be the last line.
+	if !strings.Contains(lines[len(lines)-1], "TERMINATE") {
+		t.Errorf("last trace line = %q", lines[len(lines)-1])
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	pts := dataset.Uniform(500, 2, 133)
+	tree := buildTree(t, pts, 2, 3, 8)
+	d := Driver{Tree: tree}
+	// No trace function: must simply not panic and answer correctly.
+	res, _ := d.Run(CRSS{}, dataset.SampleQueries(pts, 1, 134)[0], 3, Options{})
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+}

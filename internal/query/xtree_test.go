@@ -1,0 +1,47 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/decluster"
+	"repro/internal/parallel"
+)
+
+func TestAllAlgorithmsExactOnXTree(t *testing.T) {
+	pts := dataset.Clustered(2500, 10, 6, 121)
+	tree, err := parallel.New(parallel.Config{
+		Dim: 10, NumDisks: 8, Cylinders: 1449, MaxEntries: 16,
+		MaxOverlapRatio: 0.2, Policy: decluster.ProximityIndex{}, Seed: 121,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BuildPoints(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	d := Driver{Tree: tree}
+	for _, alg := range allAlgorithms() {
+		for _, q := range dataset.SampleQueries(pts, 6, 122) {
+			got, stats := d.Run(alg, q, 12, Options{})
+			want := bruteforce.KNN(pts, q, 12)
+			if len(got) != len(want) {
+				t.Fatalf("X %s: %d results", alg.Name(), len(got))
+			}
+			for i := range got {
+				if math.Abs(got[i].DistSq-want[i].DistSq) > 1e-9 {
+					t.Fatalf("X %s rank %d mismatch", alg.Name(), i)
+				}
+			}
+			// Supernodes make disk accesses >= node visits.
+			if stats.DiskAccesses < stats.NodesVisited {
+				t.Fatalf("%s: accesses %d < visits %d", alg.Name(), stats.DiskAccesses, stats.NodesVisited)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func srTree(t *testing.T, dim, maxEntries int) *Tree {
+	t.Helper()
+	tr, err := New(Config{Dim: dim, MaxEntries: maxEntries, UseSpheres: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSRCapacitySmaller(t *testing.T) {
+	// Sphere entries cost page space, so the SR fanout must be smaller.
+	for _, dim := range []int{2, 5, 10} {
+		r := CapacityForPageEx(4096, dim, false)
+		s := CapacityForPageEx(4096, dim, true)
+		if s >= r {
+			t.Errorf("dim %d: SR capacity %d not below rect capacity %d", dim, s, r)
+		}
+	}
+	// 2-d SR: (4096-16)/(44+24) = 60
+	if got := CapacityForPageEx(4096, 2, true); got != 60 {
+		t.Errorf("2-d SR capacity = %d, want 60", got)
+	}
+}
+
+func TestSRInvariantsUnderInserts(t *testing.T) {
+	tr := srTree(t, 3, 10)
+	pts := randPoints(21, 1500, 3)
+	for i, p := range pts {
+		if err := tr.InsertPoint(p, ObjectID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%487 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every entry must carry a sphere.
+	tr.Walk(func(n *Node, _ int) bool {
+		for i, e := range n.Entries {
+			if !e.Sphere.Valid() {
+				t.Errorf("node %d entry %d: no sphere", n.ID, i)
+			}
+		}
+		return true
+	})
+}
+
+func TestSRInvariantsUnderDeletes(t *testing.T) {
+	tr := srTree(t, 2, 8)
+	pts := randPoints(22, 800, 2)
+	for i, p := range pts {
+		_ = tr.InsertPoint(p, ObjectID(i))
+	}
+	for i := 0; i < 600; i++ {
+		if !tr.DeletePoint(pts[i], ObjectID(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRNearestNeighborsExact(t *testing.T) {
+	tr := srTree(t, 5, 12)
+	pts := randPoints(23, 900, 5)
+	for i, p := range pts {
+		_ = tr.InsertPoint(p, ObjectID(i))
+	}
+	rnd := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 10; trial++ {
+		q := make(geom.Point, 5)
+		for d := range q {
+			q[d] = rnd.Float64() * 1000
+		}
+		k := 1 + rnd.Intn(30)
+		got, _ := tr.NearestNeighbors(q, k)
+		want := bruteKNN(pts, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if diff := got[i].DistSq - want[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d rank %d: %g want %g", trial, i, got[i].DistSq, want[i])
+			}
+		}
+	}
+}
+
+// Property: mixed insert/delete workloads keep SR invariants (including
+// sphere containment of every subtree point).
+func TestSRMixedWorkloadProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		tr, err := New(Config{Dim: 2, MaxEntries: 8, UseSpheres: true}, nil)
+		if err != nil {
+			return false
+		}
+		type obj struct {
+			p  geom.Point
+			id ObjectID
+		}
+		var live []obj
+		next := ObjectID(1)
+		for step := 0; step < 250; step++ {
+			if len(live) == 0 || rnd.Float64() < 0.7 {
+				p := geom.Point{rnd.Float64() * 100, rnd.Float64() * 100}
+				if err := tr.InsertPoint(p, next); err != nil {
+					return false
+				}
+				live = append(live, obj{p, next})
+				next++
+			} else {
+				i := rnd.Intn(len(live))
+				if !tr.DeletePoint(live[i].p, live[i].id) {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		return tr.CheckInvariants() == nil && tr.Len() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTraceOpInsert(t *testing.T) {
+	tr := mustTree(t, Config{Dim: 2, MaxEntries: 8})
+	pts := randPoints(51, 500, 2)
+	for i, p := range pts {
+		_ = tr.InsertPoint(p, ObjectID(i))
+	}
+	// A plain insert reads the root-to-leaf path and writes at least the
+	// leaf.
+	trace := tr.TraceOp(func() {
+		_ = tr.InsertPoint(geom.Point{500, 500}, 9999)
+	})
+	if len(trace.Reads) < tr.Height() {
+		t.Errorf("insert read %d pages, height is %d", len(trace.Reads), tr.Height())
+	}
+	if len(trace.Writes) < 1 {
+		t.Error("insert wrote no pages")
+	}
+	// IDs are sorted and unique.
+	for i := 1; i < len(trace.Reads); i++ {
+		if trace.Reads[i] <= trace.Reads[i-1] {
+			t.Error("reads not sorted/unique")
+		}
+	}
+}
+
+func TestTraceOpDelete(t *testing.T) {
+	tr := mustTree(t, Config{Dim: 2, MaxEntries: 8})
+	pts := randPoints(52, 400, 2)
+	for i, p := range pts {
+		_ = tr.InsertPoint(p, ObjectID(i))
+	}
+	trace := tr.TraceOp(func() {
+		if !tr.DeletePoint(pts[7], 7) {
+			t.Fatal("delete failed")
+		}
+	})
+	if len(trace.Reads) == 0 || len(trace.Writes) == 0 {
+		t.Errorf("delete trace empty: %+v", trace)
+	}
+}
+
+func TestTraceOpDisarmed(t *testing.T) {
+	tr := mustTree(t, Config{Dim: 2, MaxEntries: 8})
+	_ = tr.InsertPoint(geom.Point{1, 1}, 1)
+	// Operations outside TraceOp must not leak into a later trace.
+	_ = tr.InsertPoint(geom.Point{2, 2}, 2)
+	trace := tr.TraceOp(func() {})
+	if len(trace.Reads) != 0 || len(trace.Writes) != 0 {
+		t.Errorf("empty op traced %+v", trace)
+	}
+}
+
+func TestTraceOpSplitWritesMultiplePages(t *testing.T) {
+	tr := mustTree(t, Config{Dim: 2, MaxEntries: 4, MinEntries: 2})
+	// Fill one leaf to the brim; the next insert splits it.
+	for i := 0; i < 4; i++ {
+		_ = tr.InsertPoint(geom.Point{float64(i), 0}, ObjectID(i))
+	}
+	trace := tr.TraceOp(func() {
+		_ = tr.InsertPoint(geom.Point{9, 0}, 99)
+	})
+	// Split: old leaf + new leaf + new root all written.
+	if len(trace.Writes) < 3 {
+		t.Errorf("split wrote only %v", trace.Writes)
+	}
+}

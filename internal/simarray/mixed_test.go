@@ -1,0 +1,134 @@
+package simarray
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func TestMixedWorkloadCompletes(t *testing.T) {
+	tree := buildTree(t, 3000, 2, 5, 51)
+	sys, err := NewSystem(tree, Config{Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dataset.Gaussian(3000, 2, 51)
+	qs := dataset.SampleQueries(base, 30, 52)
+	inserts := dataset.Gaussian(200, 2, 53)
+
+	before := tree.Len()
+	res, err := sys.RunMixed(MixedWorkload{
+		Queries: Workload{
+			Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 10,
+		},
+		Inserts:    inserts,
+		InsertBase: 1 << 20,
+		InsertRate: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != before+200 {
+		t.Errorf("tree size %d, want %d", tree.Len(), before+200)
+	}
+	if err := tree.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckPlacements(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserts) != 200 {
+		t.Fatalf("%d insert outcomes", len(res.Inserts))
+	}
+	if res.MeanInsertResponse <= 0 {
+		t.Error("non-positive insert response")
+	}
+	for _, in := range res.Inserts {
+		if in.Response < 0 || in.PagesRead == 0 || in.PagesWrite == 0 {
+			t.Fatalf("insert %d: bad outcome %+v", in.Index, in)
+		}
+	}
+	// Queries all completed with answers despite concurrent inserts.
+	for _, o := range res.Outcomes {
+		if len(o.Results) != 10 {
+			t.Fatalf("query %d returned %d results", o.Index, len(o.Results))
+		}
+	}
+}
+
+func TestMixedNeedsInsertRate(t *testing.T) {
+	tree := buildTree(t, 500, 2, 2, 55)
+	sys, err := NewSystem(tree, Config{Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunMixed(MixedWorkload{
+		Queries: Workload{Algorithm: query.CRSS{}, K: 1, Queries: dataset.Uniform(1, 2, 1)},
+		Inserts: dataset.Uniform(5, 2, 2),
+	})
+	if err == nil {
+		t.Error("accepted zero insert rate")
+	}
+}
+
+func TestMixedWorkloadSlowsQueries(t *testing.T) {
+	// Update traffic competes for the same disks: queries must get
+	// slower when a heavy insert stream runs alongside.
+	tree1 := buildTree(t, 5000, 2, 4, 57)
+	tree2 := buildTree(t, 5000, 2, 4, 57)
+	qs := dataset.SampleQueries(dataset.Gaussian(5000, 2, 57), 40, 58)
+
+	sysQuiet, err := NewSystem(tree1, Config{Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := sysQuiet.Run(Workload{Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sysBusy, err := NewSystem(tree2, Config{Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := sysBusy.RunMixed(MixedWorkload{
+		Queries:    Workload{Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 8},
+		Inserts:    dataset.Gaussian(600, 2, 59),
+		InsertBase: 1 << 20,
+		InsertRate: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.MeanResponse <= quiet.MeanResponse {
+		t.Errorf("insert stream did not slow queries: %.5f vs %.5f",
+			busy.MeanResponse, quiet.MeanResponse)
+	}
+}
+
+func TestMixedWithMirrorsWritesAllCopies(t *testing.T) {
+	tree := buildTree(t, 1500, 2, 3, 61)
+	sys, err := NewSystem(tree, Config{Seed: 61, Mirrors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunMixed(MixedWorkload{
+		Queries:    Workload{Algorithm: query.CRSS{}, K: 5, Queries: dataset.SampleQueries(dataset.Gaussian(1500, 2, 61), 5, 62), ArrivalRate: 5},
+		Inserts:    dataset.Gaussian(50, 2, 63),
+		InsertBase: 1 << 20,
+		InsertRate: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirrored writes mean total physical jobs exceed the read-only
+	// count: every write hits both copies.
+	var writes int
+	for _, in := range res.Inserts {
+		writes += in.PagesWrite
+	}
+	if writes == 0 {
+		t.Fatal("no writes recorded")
+	}
+}

@@ -1,0 +1,61 @@
+package simarray
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func TestMultiCPUValidation(t *testing.T) {
+	tree := buildTree(t, 500, 2, 2, 71)
+	if _, err := NewSystem(tree, Config{Seed: 1, CPUs: -2}); err == nil {
+		t.Error("accepted negative CPU count")
+	}
+}
+
+func TestMultiCPUNeverSlower(t *testing.T) {
+	// Under a CPU-visible load (many entries scanned per stage at a
+	// high arrival rate), more processors must not hurt and should
+	// help at least slightly.
+	tree := buildTree(t, 6000, 2, 5, 73)
+	qs := dataset.SampleQueries(dataset.Gaussian(6000, 2, 73), 60, 74)
+	resp := func(cpus int) float64 {
+		sys, err := NewSystem(tree, Config{Seed: 73, CPUs: cpus, MIPS: 2}) // slow CPU exposes contention
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(Workload{Algorithm: query.FPSS{}, K: 50, Queries: qs, ArrivalRate: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanResponse
+	}
+	one := resp(1)
+	four := resp(4)
+	if four > one*1.001 {
+		t.Errorf("4 CPUs slower than 1: %.5f vs %.5f", four, one)
+	}
+	if four >= one {
+		t.Logf("note: 4 CPUs %.5f vs 1 CPU %.5f (CPU not the bottleneck)", four, one)
+	}
+}
+
+func TestMultiCPUDeterministic(t *testing.T) {
+	tree := buildTree(t, 2000, 2, 4, 75)
+	qs := dataset.SampleQueries(dataset.Gaussian(2000, 2, 75), 20, 76)
+	run := func() float64 {
+		sys, err := NewSystem(tree, Config{Seed: 75, CPUs: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanResponse
+	}
+	if run() != run() {
+		t.Error("multi-CPU runs not deterministic")
+	}
+}

@@ -1,0 +1,110 @@
+package simarray
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func TestMirrorValidation(t *testing.T) {
+	tree := buildTree(t, 500, 2, 2, 31)
+	if _, err := NewSystem(tree, Config{Seed: 1, Mirrors: -1}); err == nil {
+		t.Error("accepted negative mirrors")
+	}
+	if _, err := NewSystem(tree, Config{Seed: 1, MirrorPolicy: "bogus"}); err == nil {
+		t.Error("accepted unknown mirror policy")
+	}
+}
+
+func TestRAID1ImprovesHeavyLoad(t *testing.T) {
+	// Shadowed disks serve reads from either mirror: under a heavy read
+	// workload the mean response time must improve over RAID-0 with the
+	// same logical layout.
+	tree := buildTree(t, 6000, 2, 5, 33)
+	qs := dataset.SampleQueries(dataset.Gaussian(6000, 2, 33), 60, 34)
+	respWith := func(mirrors int) float64 {
+		sys, err := NewSystem(tree, Config{Seed: 33, Mirrors: mirrors})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 20, Queries: qs, ArrivalRate: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanResponse
+	}
+	raid0 := respWith(1)
+	raid1 := respWith(2)
+	if raid1 >= raid0 {
+		t.Errorf("RAID-1 %.4f not faster than RAID-0 %.4f under heavy load", raid1, raid0)
+	}
+}
+
+func TestRAID1ReportsAllPhysicalDrives(t *testing.T) {
+	tree := buildTree(t, 1500, 2, 4, 35)
+	sys, err := NewSystem(tree, Config{Seed: 35, Mirrors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.SampleQueries(dataset.Gaussian(1500, 2, 35), 15, 36)
+	res, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 5, Queries: qs, ArrivalRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Disks) != 4*3 {
+		t.Fatalf("%d drive reports, want 12", len(res.Disks))
+	}
+	// Conservation still holds across mirrors.
+	var served uint64
+	for _, d := range res.Disks {
+		served += d.Requests
+	}
+	var issued uint64
+	for _, o := range res.Outcomes {
+		issued += uint64(o.Stats.DiskAccesses)
+	}
+	if served != issued {
+		t.Errorf("mirrored drives served %d, queries issued %d", served, issued)
+	}
+}
+
+func TestMirrorPoliciesAllComplete(t *testing.T) {
+	tree := buildTree(t, 2000, 2, 3, 37)
+	qs := dataset.SampleQueries(dataset.Gaussian(2000, 2, 37), 20, 38)
+	for _, pol := range []string{"shortest-queue", "nearest-arm", "roundrobin"} {
+		sys, err := NewSystem(tree, Config{Seed: 37, Mirrors: 2, MirrorPolicy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(Workload{Algorithm: query.FPSS{}, K: 10, Queries: qs, ArrivalRate: 15})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.MeanResponse <= 0 {
+			t.Errorf("%s: non-positive response", pol)
+		}
+	}
+}
+
+func TestRoundRobinMirrorsBalance(t *testing.T) {
+	tree := buildTree(t, 3000, 2, 2, 39)
+	sys, err := NewSystem(tree, Config{Seed: 39, Mirrors: 2, MirrorPolicy: "roundrobin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.SampleQueries(dataset.Gaussian(3000, 2, 39), 40, 40)
+	res, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per logical disk, the two mirrors must split requests within 1.
+	for d := 0; d < 2; d++ {
+		a := res.Disks[d*2].Requests
+		b := res.Disks[d*2+1].Requests
+		diff := int64(a) - int64(b)
+		if diff < -1 || diff > 1 {
+			t.Errorf("disk %d mirrors unbalanced: %d vs %d", d, a, b)
+		}
+	}
+}

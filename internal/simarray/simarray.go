@@ -1,0 +1,426 @@
+// Package simarray is the full system simulator of the paper (§4.1,
+// Figure 7): a CPU, a shared I/O bus and N disks, each modelled as a
+// FCFS queue over the event-driven kernel of package sim. Queries arrive
+// in a Poisson stream, run one of the package query algorithms, and the
+// simulator measures per-query response times under intra- and
+// inter-query parallelism, seek-dependent disk service times, bus
+// contention and the paper's CPU cost model.
+//
+// The flow of one algorithm stage is:
+//
+//	CPU (process previous pages: 2N+3M·log2 M instructions @ MIPS)
+//	  → page requests fan out to the per-disk queues (parallel)
+//	  → each completed page crosses the shared bus (constant time)
+//	  → when the stage's last page arrives, the next stage begins.
+package simarray
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/disk"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/sim"
+)
+
+// Config fixes the hardware model. Zero fields take the paper's values
+// (Table 1 and Table 2).
+type Config struct {
+	Disk         disk.Params // per-drive model; zero value = HP C2200A
+	MIPS         float64     // CPU speed; default 100 (CPUspeed, Table 1)
+	QueryStartup float64     // seconds; default 0.001 (Qstartup, Table 1)
+	BusTime      float64     // seconds to move one page over the bus;
+	// default = page size / 10 MB/s (SCSI-2)
+	Seed int64
+	// Mirrors is the number of physical copies of every logical disk:
+	// 1 (default) models the paper's RAID-0; 2 models RAID-1 shadowed
+	// disks, the paper's "future research" item — a read is served by
+	// whichever mirror the MirrorPolicy selects.
+	Mirrors int
+	// MirrorPolicy selects the mirror for a read: "shortest-queue"
+	// (default; falls back to the nearer arm on ties), "nearest-arm",
+	// or "roundrobin".
+	MirrorPolicy string
+	// CPUs is the number of processors sharing the workload (default
+	// 1, the paper's machine). More processors model the paper's last
+	// future-research item, "the impact of increasing the number of
+	// processors (e.g. in a shared-memory multiprocessor architecture)":
+	// each query stage runs on the least-loaded CPU.
+	CPUs int
+}
+
+func (c *Config) fill() {
+	if c.Disk.Cylinders == 0 {
+		c.Disk = disk.HPC2200A()
+	}
+	if c.MIPS == 0 {
+		c.MIPS = 100
+	}
+	if c.QueryStartup == 0 {
+		c.QueryStartup = 0.001
+	}
+	if c.BusTime == 0 {
+		c.BusTime = float64(c.Disk.BlockSize) / 10e6
+	}
+	if c.Mirrors == 0 {
+		c.Mirrors = 1
+	}
+	if c.MirrorPolicy == "" {
+		c.MirrorPolicy = "shortest-queue"
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 1
+	}
+}
+
+// Workload describes a stream of k-NN queries.
+type Workload struct {
+	Algorithm query.Algorithm
+	K         int
+	Queries   []geom.Point // one query per arrival
+	// ArrivalRate is λ in queries/second for the Poisson stream; if
+	// zero, queries are issued back-to-back (each arrives when the
+	// previous completes — the single-user model).
+	ArrivalRate float64
+	Options     query.Options
+}
+
+// QueryOutcome is the record of one simulated query.
+type QueryOutcome struct {
+	Index      int
+	Arrival    float64
+	Completion float64
+	Response   float64
+	Stats      *query.Stats
+	Results    []query.Neighbor
+}
+
+// DiskReport summarizes one drive after a run.
+type DiskReport struct {
+	Requests    uint64
+	Utilization float64
+	MeanWait    float64
+}
+
+// RunResult aggregates a workload run.
+type RunResult struct {
+	Outcomes     []QueryOutcome
+	MeanResponse float64
+	MaxResponse  float64
+	Makespan     float64 // completion time of the last query
+	Disks        []DiskReport
+	BusUtil      float64
+	CPUUtil      float64
+}
+
+// System wires a parallel R*-tree to the simulated hardware. With
+// Mirrors > 1 each logical disk is backed by that many physical drives
+// holding identical content (RAID-1 shadowing).
+type System struct {
+	cfg    Config
+	tree   *parallel.Tree
+	sim    *sim.Simulator
+	cpus   []*sim.Station
+	bus    *sim.Station
+	disks  [][]*sim.Station // [logical disk][mirror]
+	drive  [][]*disk.Drive
+	rot    []*rand.Rand // per-logical-disk rotational latency streams
+	rrNext []int        // round-robin cursor per logical disk
+}
+
+// NewSystem builds the hardware around a tree. The number of disks comes
+// from the tree's configuration.
+func NewSystem(tree *parallel.Tree, cfg Config) (*System, error) {
+	cfg.fill()
+	if err := cfg.Disk.Validate(); err != nil {
+		return nil, err
+	}
+	if tree.Config().Cylinders > cfg.Disk.Cylinders {
+		return nil, fmt.Errorf("simarray: tree placed on %d cylinders but drive has %d",
+			tree.Config().Cylinders, cfg.Disk.Cylinders)
+	}
+	switch cfg.MirrorPolicy {
+	case "shortest-queue", "nearest-arm", "roundrobin":
+	default:
+		return nil, fmt.Errorf("simarray: unknown mirror policy %q", cfg.MirrorPolicy)
+	}
+	if cfg.Mirrors < 1 {
+		return nil, fmt.Errorf("simarray: mirrors must be >= 1, got %d", cfg.Mirrors)
+	}
+	if cfg.CPUs < 1 {
+		return nil, fmt.Errorf("simarray: CPUs must be >= 1, got %d", cfg.CPUs)
+	}
+	s := &System{cfg: cfg, tree: tree, sim: sim.New()}
+	s.cpus = make([]*sim.Station, cfg.CPUs)
+	for i := range s.cpus {
+		s.cpus[i] = sim.NewStation(s.sim, fmt.Sprintf("cpu%d", i))
+	}
+	s.bus = sim.NewStation(s.sim, "bus")
+	n := tree.NumDisks()
+	s.disks = make([][]*sim.Station, n)
+	s.drive = make([][]*disk.Drive, n)
+	s.rot = make([]*rand.Rand, n)
+	s.rrNext = make([]int, n)
+	for i := 0; i < n; i++ {
+		s.disks[i] = make([]*sim.Station, cfg.Mirrors)
+		s.drive[i] = make([]*disk.Drive, cfg.Mirrors)
+		for m := 0; m < cfg.Mirrors; m++ {
+			s.disks[i][m] = sim.NewStation(s.sim, fmt.Sprintf("disk%d.%d", i, m))
+			d, err := disk.NewDrive(i*cfg.Mirrors+m, cfg.Disk)
+			if err != nil {
+				return nil, err
+			}
+			s.drive[i][m] = d
+		}
+		s.rot[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1))
+	}
+	return s, nil
+}
+
+// pickMirror selects the physical drive serving a read from logical
+// disk d at the given cylinder, per the configured policy.
+func (s *System) pickMirror(d, cylinder int) int {
+	if s.cfg.Mirrors == 1 {
+		return 0
+	}
+	switch s.cfg.MirrorPolicy {
+	case "roundrobin":
+		m := s.rrNext[d]
+		s.rrNext[d] = (m + 1) % s.cfg.Mirrors
+		return m
+	case "nearest-arm":
+		best, bestDist := 0, -1
+		for m, drv := range s.drive[d] {
+			dist := drv.Arm() - cylinder
+			if dist < 0 {
+				dist = -dist
+			}
+			if bestDist < 0 || dist < bestDist {
+				best, bestDist = m, dist
+			}
+		}
+		return best
+	default: // shortest-queue, ties to the nearer arm
+		best := 0
+		bestFree := s.disks[d][0].FreeAt()
+		bestDist := armDist(s.drive[d][0], cylinder)
+		for m := 1; m < s.cfg.Mirrors; m++ {
+			free := s.disks[d][m].FreeAt()
+			dist := armDist(s.drive[d][m], cylinder)
+			if free < bestFree || (free == bestFree && dist < bestDist) {
+				best, bestFree, bestDist = m, free, dist
+			}
+		}
+		return best
+	}
+}
+
+func armDist(d *disk.Drive, cylinder int) int {
+	dist := d.Arm() - cylinder
+	if dist < 0 {
+		dist = -dist
+	}
+	return dist
+}
+
+// cpu returns the least-loaded processor (by drain time), modelling a
+// shared ready queue on a multiprocessor.
+func (s *System) cpu() *sim.Station {
+	best := s.cpus[0]
+	for _, c := range s.cpus[1:] {
+		if c.FreeAt() < best.FreeAt() {
+			best = c
+		}
+	}
+	return best
+}
+
+// queryProc drives one Execution through the simulated hardware.
+type queryProc struct {
+	sys     *System
+	exec    query.Execution
+	out     *QueryOutcome
+	pending int
+	batch   []*rtree.Node
+	done    func()
+}
+
+// start begins the query at the current simulated time: the startup cost
+// runs on the CPU, then the first stage executes.
+func (p *queryProc) start() {
+	p.out.Arrival = p.sys.sim.Now()
+	p.sys.cpu().Submit(p.sys.cfg.QueryStartup, func(_, _ float64) {
+		p.advance(nil)
+	})
+}
+
+// advance runs one algorithm stage: Step consumes the delivered pages,
+// its CPU cost is paid on the CPU station, and then the stage's page
+// requests fan out to the disks.
+func (p *queryProc) advance(delivered []*rtree.Node) {
+	sr := p.exec.Step(delivered)
+	cpuTime := sr.Instructions / (p.sys.cfg.MIPS * 1e6)
+	p.sys.cpu().Submit(cpuTime, func(_, _ float64) {
+		if len(sr.Requests) == 0 {
+			p.finish()
+			return
+		}
+		p.issue(sr.Requests)
+	})
+}
+
+// issue sends a stage's page requests to the array. Cached pages cost no
+// I/O; physical pages pay disk service (seek + rotation + transfer +
+// controller) and then one bus slot.
+func (p *queryProc) issue(reqs []query.PageRequest) {
+	p.pending = len(reqs)
+	p.batch = p.batch[:0]
+	for _, r := range reqs {
+		r := r
+		node := p.sys.tree.Store().Get(r.Page)
+		if r.Cached {
+			// Delivered from memory at this instant.
+			p.sys.sim.After(0, func() { p.deliver(node) })
+			continue
+		}
+		m := p.sys.pickMirror(r.Disk, r.Cylinder)
+		drv := p.sys.drive[r.Disk][m]
+		svc := drv.ServiceTime(r.Cylinder, p.sys.rot[r.Disk])
+		if r.Pages > 1 {
+			// Supernode: the extra pages stream sequentially after the
+			// first (one seek + rotation, then contiguous transfers).
+			svc += float64(r.Pages-1) * drv.TransferTime
+		}
+		p.sys.disks[r.Disk][m].Submit(svc, func(_, _ float64) {
+			p.sys.bus.Submit(p.sys.cfg.BusTime, func(_, _ float64) {
+				p.deliver(node)
+			})
+		})
+	}
+}
+
+// deliver collects one page; when the whole stage has arrived the next
+// stage begins.
+func (p *queryProc) deliver(n *rtree.Node) {
+	p.batch = append(p.batch, n)
+	p.pending--
+	if p.pending == 0 {
+		stage := make([]*rtree.Node, len(p.batch))
+		copy(stage, p.batch)
+		p.advance(stage)
+	}
+}
+
+func (p *queryProc) finish() {
+	p.out.Completion = p.sys.sim.Now()
+	p.out.Response = p.out.Completion - p.out.Arrival
+	p.out.Results = p.exec.Results()
+	p.out.Stats = p.exec.Stats()
+	if p.done != nil {
+		p.done()
+	}
+}
+
+// Run executes the workload to completion and reports statistics. The
+// paper's experiments run 100 queries and average the response time.
+func (s *System) Run(w Workload) (RunResult, error) {
+	if w.Algorithm == nil {
+		return RunResult{}, fmt.Errorf("simarray: workload has no algorithm")
+	}
+	if w.K <= 0 {
+		return RunResult{}, fmt.Errorf("simarray: k must be positive, got %d", w.K)
+	}
+	if len(w.Queries) == 0 {
+		return RunResult{}, fmt.Errorf("simarray: workload has no queries")
+	}
+	outcomes := make([]QueryOutcome, len(w.Queries))
+	procs := make([]*queryProc, len(w.Queries))
+	for i, q := range w.Queries {
+		outcomes[i] = QueryOutcome{Index: i}
+		procs[i] = &queryProc{
+			sys:  s,
+			exec: w.Algorithm.NewExecution(s.tree, q, w.K, w.Options),
+			out:  &outcomes[i],
+		}
+	}
+
+	if w.ArrivalRate > 0 {
+		// Poisson arrivals: exponential interarrival times.
+		arr := rand.New(rand.NewSource(s.cfg.Seed + 100003))
+		t := 0.0
+		for i := range procs {
+			p := procs[i]
+			s.sim.At(t, p.start)
+			t += arr.ExpFloat64() / w.ArrivalRate
+		}
+	} else {
+		// Single-user: next query starts when the previous finishes.
+		for i := 0; i < len(procs)-1; i++ {
+			next := procs[i+1]
+			procs[i].done = next.start
+		}
+		s.sim.At(0, procs[0].start)
+	}
+
+	s.sim.Run()
+
+	var res RunResult
+	res.Outcomes = outcomes
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Stats == nil {
+			return res, fmt.Errorf("simarray: query %d never completed", i)
+		}
+		res.MeanResponse += o.Response
+		if o.Response > res.MaxResponse {
+			res.MaxResponse = o.Response
+		}
+		if o.Completion > res.Makespan {
+			res.Makespan = o.Completion
+		}
+	}
+	res.MeanResponse /= float64(len(outcomes))
+
+	horizon := res.Makespan
+	if horizon <= 0 {
+		horizon = math.SmallestNonzeroFloat64
+	}
+	// One report per physical drive, mirrors flattened after their
+	// logical disk.
+	res.Disks = make([]DiskReport, 0, len(s.disks)*s.cfg.Mirrors)
+	for _, mirrors := range s.disks {
+		for _, st := range mirrors {
+			stats := st.Stats()
+			res.Disks = append(res.Disks, DiskReport{
+				Requests:    stats.Jobs,
+				Utilization: stats.Utilization(horizon),
+				MeanWait:    stats.MeanWait(),
+			})
+		}
+	}
+	res.BusUtil = s.bus.Stats().Utilization(horizon)
+	var cpuBusy float64
+	for _, c := range s.cpus {
+		cpuBusy += c.Stats().Utilization(horizon)
+	}
+	res.CPUUtil = cpuBusy / float64(len(s.cpus))
+	return res, nil
+}
+
+// MeanResponseOf is a convenience that builds a system and runs a
+// workload in one call, returning the mean response time.
+func MeanResponseOf(tree *parallel.Tree, cfg Config, w Workload) (float64, error) {
+	sys, err := NewSystem(tree, cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sys.Run(w)
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanResponse, nil
+}

@@ -1,0 +1,246 @@
+package simarray
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/decluster"
+	"repro/internal/disk"
+	"repro/internal/parallel"
+	"repro/internal/query"
+)
+
+func buildTree(t testing.TB, n, dim, disks int, seed int64) *parallel.Tree {
+	t.Helper()
+	pt, err := parallel.New(parallel.Config{
+		Dim:       dim,
+		NumDisks:  disks,
+		Cylinders: disk.HPC2200A().Cylinders,
+		Policy:    decluster.ProximityIndex{},
+		Seed:      seed,
+		// Small pages keep trees deep enough to be interesting in tests.
+		MaxEntries: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.BuildPoints(dataset.Gaussian(n, dim, seed)); err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func TestSingleQueryCompletes(t *testing.T) {
+	tree := buildTree(t, 2000, 2, 5, 1)
+	sys, err := NewSystem(tree, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.SampleQueries(dataset.Gaussian(2000, 2, 1), 1, 2)
+	res, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 10, Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Outcomes[0]
+	if len(o.Results) != 10 {
+		t.Fatalf("query returned %d results", len(o.Results))
+	}
+	if o.Response <= 0 {
+		t.Error("non-positive response time")
+	}
+	// Response must at least cover: startup + one disk access + bus.
+	min := 0.001 + 0.0001
+	if o.Response < min {
+		t.Errorf("response %.6f below physical floor %.6f", o.Response, min)
+	}
+	// And the response must be at least #batches * (min disk service),
+	// since stages are strictly sequential.
+	p := disk.HPC2200A()
+	minSvc := p.TransferTime + p.ControllerOverhead
+	if o.Response < float64(o.Stats.Batches)*minSvc {
+		t.Errorf("response %.6f < batches %d × min service %.6f",
+			o.Response, o.Stats.Batches, minSvc)
+	}
+}
+
+func TestAllQueriesComplete(t *testing.T) {
+	tree := buildTree(t, 3000, 2, 8, 3)
+	sys, err := NewSystem(tree, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.SampleQueries(dataset.Gaussian(3000, 2, 3), 40, 4)
+	res, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 40 {
+		t.Fatalf("%d outcomes", len(res.Outcomes))
+	}
+	var totalAccesses uint64
+	for _, o := range res.Outcomes {
+		if o.Completion < o.Arrival {
+			t.Error("completion before arrival")
+		}
+		totalAccesses += uint64(o.Stats.DiskAccesses)
+	}
+	// Conservation: disk jobs served == disk accesses issued.
+	var served uint64
+	for _, d := range res.Disks {
+		served += d.Requests
+	}
+	if served != totalAccesses {
+		t.Errorf("disks served %d jobs, queries issued %d", served, totalAccesses)
+	}
+	if res.MeanResponse <= 0 || res.MaxResponse < res.MeanResponse {
+		t.Errorf("mean %.4f max %.4f inconsistent", res.MeanResponse, res.MaxResponse)
+	}
+}
+
+func TestResponseGrowsWithLoad(t *testing.T) {
+	tree := buildTree(t, 5000, 2, 5, 5)
+	qs := dataset.SampleQueries(dataset.Gaussian(5000, 2, 5), 60, 6)
+	run := func(lambda float64) float64 {
+		mean, err := MeanResponseOf(tree, Config{Seed: 5}, Workload{
+			Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: lambda,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mean
+	}
+	light := run(1)
+	heavy := run(200)
+	if heavy <= light {
+		t.Errorf("mean response did not grow with load: λ=1 → %.4f, λ=200 → %.4f", light, heavy)
+	}
+}
+
+func TestBBSSSlowerThanCRSSOnSingleQuery(t *testing.T) {
+	// BBSS fetches pages strictly sequentially, CRSS in parallel
+	// batches; on the same tree CRSS must win on mean response in the
+	// multi-batch regime.
+	tree := buildTree(t, 8000, 2, 10, 7)
+	qs := dataset.SampleQueries(dataset.Gaussian(8000, 2, 7), 30, 8)
+	respOf := func(alg query.Algorithm) float64 {
+		mean, err := MeanResponseOf(tree, Config{Seed: 7}, Workload{
+			Algorithm: alg, K: 100, Queries: qs, ArrivalRate: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mean
+	}
+	bbss := respOf(query.BBSS{})
+	crss := respOf(query.CRSS{})
+	if crss >= bbss {
+		t.Errorf("CRSS %.4f not faster than BBSS %.4f", crss, bbss)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tree := buildTree(t, 2000, 2, 4, 9)
+	qs := dataset.SampleQueries(dataset.Gaussian(2000, 2, 9), 20, 10)
+	run := func() RunResult {
+		res, err := func() (RunResult, error) {
+			sys, err := NewSystem(tree, Config{Seed: 9})
+			if err != nil {
+				return RunResult{}, err
+			}
+			return sys.Run(Workload{Algorithm: query.FPSS{}, K: 5, Queries: qs, ArrivalRate: 10})
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanResponse != b.MeanResponse || a.Makespan != b.Makespan {
+		t.Errorf("runs diverge: %.9f vs %.9f", a.MeanResponse, b.MeanResponse)
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i].Response != b.Outcomes[i].Response {
+			t.Fatalf("query %d response differs", i)
+		}
+	}
+}
+
+func TestSingleUserChaining(t *testing.T) {
+	tree := buildTree(t, 1500, 2, 4, 11)
+	sys, err := NewSystem(tree, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.SampleQueries(dataset.Gaussian(1500, 2, 11), 5, 12)
+	res, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 3, Queries: qs}) // no arrival rate
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries must not overlap: each arrival equals the previous
+	// completion.
+	for i := 1; i < len(res.Outcomes); i++ {
+		if math.Abs(res.Outcomes[i].Arrival-res.Outcomes[i-1].Completion) > 1e-12 {
+			t.Errorf("query %d arrived at %.6f, previous completed %.6f",
+				i, res.Outcomes[i].Arrival, res.Outcomes[i-1].Completion)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	tree := buildTree(t, 500, 2, 2, 13)
+	sys, err := NewSystem(tree, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(Workload{K: 1, Queries: dataset.Uniform(1, 2, 1)}); err == nil {
+		t.Error("accepted nil algorithm")
+	}
+	if _, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 0, Queries: dataset.Uniform(1, 2, 1)}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := sys.Run(Workload{Algorithm: query.CRSS{}, K: 1}); err == nil {
+		t.Error("accepted empty query list")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	tree := buildTree(t, 3000, 2, 6, 15)
+	sys, err := NewSystem(tree, Config{Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.SampleQueries(dataset.Gaussian(3000, 2, 15), 50, 16)
+	res, err := sys.Run(Workload{Algorithm: query.FPSS{}, K: 20, Queries: qs, ArrivalRate: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BusUtil < 0 || res.BusUtil > 1 || res.CPUUtil < 0 || res.CPUUtil > 1 {
+		t.Errorf("bus %.3f cpu %.3f out of [0,1]", res.BusUtil, res.CPUUtil)
+	}
+	for i, d := range res.Disks {
+		if d.Utilization < 0 || d.Utilization > 1 {
+			t.Errorf("disk %d utilization %.3f", i, d.Utilization)
+		}
+	}
+}
+
+func TestCachedLevelsShortenResponse(t *testing.T) {
+	tree := buildTree(t, 6000, 2, 5, 17)
+	qs := dataset.SampleQueries(dataset.Gaussian(6000, 2, 17), 25, 18)
+	respOf := func(cached int) float64 {
+		mean, err := MeanResponseOf(tree, Config{Seed: 17}, Workload{
+			Algorithm: query.CRSS{}, K: 10, Queries: qs, ArrivalRate: 10,
+			Options: query.Options{CachedLevels: cached},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mean
+	}
+	uncached := respOf(0)
+	cached := respOf(2)
+	if cached >= uncached {
+		t.Errorf("caching 2 levels did not reduce response: %.5f vs %.5f", cached, uncached)
+	}
+}

@@ -1,0 +1,55 @@
+// Package simquery reproduces "Similarity Query Processing Using Disk
+// Arrays" (Papadopoulos & Manolopoulos, SIGMOD 1998) as a Go library: a
+// parallel R*-tree declustered over a simulated RAID-0 disk array, the
+// four k-nearest-neighbor algorithms of the paper (BBSS, FPSS, CRSS and
+// the hypothetical weak-optimal WOPTSS), and an event-driven system
+// simulator measuring multi-user response times.
+//
+// Quick start:
+//
+//	ix, err := simquery.NewIndex(simquery.IndexConfig{Dim: 2, NumDisks: 10})
+//	if err != nil { ... }
+//	for i, p := range points {
+//		_ = ix.Insert(p, simquery.ObjectID(i))
+//	}
+//	neighbors, stats, err := ix.KNN(queryPoint, 10, "crss")
+//
+// See the examples directory for runnable programs and package
+// internal/harness for the code that regenerates every figure and table
+// of the paper's evaluation.
+package simquery
+
+import (
+	"repro/internal/core"
+)
+
+// Re-exported API. See package repro/internal/core for documentation.
+type (
+	// Point is an n-dimensional query or data point.
+	Point = core.Point
+	// Rect is an axis-aligned minimum bounding rectangle.
+	Rect = core.Rect
+	// ObjectID identifies an indexed object.
+	ObjectID = core.ObjectID
+	// Neighbor is one k-NN answer: an object and its squared distance.
+	Neighbor = core.Neighbor
+	// QueryStats counts node accesses, parallel batches and CPU work.
+	QueryStats = core.QueryStats
+	// Index is a similarity-search index over a simulated disk array.
+	Index = core.Index
+	// IndexConfig configures an Index.
+	IndexConfig = core.IndexConfig
+	// SimulatedWorkload describes a timed multi-user experiment.
+	SimulatedWorkload = core.SimulatedWorkload
+	// RunResult aggregates a simulated workload run.
+	RunResult = core.RunResult
+	// QueryOutcome is the timing record of one simulated query.
+	QueryOutcome = core.QueryOutcome
+)
+
+// NewIndex creates an empty disk-array similarity index.
+func NewIndex(cfg IndexConfig) (*Index, error) { return core.NewIndex(cfg) }
+
+// Algorithms lists the built-in k-NN algorithm names: bbss, fpss, crss,
+// woptss and the eps-series baseline.
+func Algorithms() []string { return core.Algorithms() }

@@ -1,0 +1,107 @@
+package simquery_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	simquery "repro"
+	"repro/internal/dataset"
+)
+
+// TestPublicAPIEndToEnd drives the whole re-exported surface: build,
+// query with every algorithm, range search, simulate, snapshot.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ix, err := simquery.NewIndex(simquery.IndexConfig{Dim: 2, NumDisks: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := dataset.CaliforniaLike(5000, 11)
+	if err := ix.InsertAll(pts, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 5000 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+
+	q := simquery.Point{0.4, 0.5}
+	var reference []float64
+	for _, name := range simquery.Algorithms() {
+		if name == "eps-series" {
+			continue // baseline; exercised separately in internal tests
+		}
+		res, stats, err := ix.KNN(q, 10, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res) != 10 || stats.NodesVisited <= 0 {
+			t.Fatalf("%s: %d results, %d nodes", name, len(res), stats.NodesVisited)
+		}
+		ds := make([]float64, len(res))
+		for i, r := range res {
+			ds[i] = r.DistSq
+		}
+		if reference == nil {
+			reference = ds
+		} else {
+			for i := range ds {
+				if math.Abs(ds[i]-reference[i]) > 1e-9 {
+					t.Fatalf("%s disagrees with reference at rank %d", name, i)
+				}
+			}
+		}
+	}
+
+	within, _, err := ix.RangeSearch(q, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(within, func(i, j int) bool { return within[i].DistSq < within[j].DistSq })
+	for _, w := range within {
+		if w.DistSq > 0.05*0.05+1e-9 {
+			t.Fatal("range result outside radius")
+		}
+	}
+
+	run, err := ix.Simulate(simquery.SimulatedWorkload{
+		Algorithm: "crss", K: 10,
+		Queries:     dataset.SampleQueries(pts, 15, 12),
+		ArrivalRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MeanResponse <= 0 || len(run.Outcomes) != 15 {
+		t.Fatalf("simulate: %+v", run.MeanResponse)
+	}
+}
+
+// ExampleNewIndex demonstrates the quickstart flow; the output is
+// checked by go test.
+func ExampleNewIndex() {
+	ix, err := simquery.NewIndex(simquery.IndexConfig{Dim: 2, NumDisks: 4, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	// A tiny map: four landmarks.
+	landmarks := []simquery.Point{
+		{0.1, 0.1}, // 0: harbor
+		{0.2, 0.1}, // 1: market
+		{0.8, 0.9}, // 2: airport
+		{0.5, 0.5}, // 3: plaza
+	}
+	if err := ix.InsertAll(landmarks, 0); err != nil {
+		panic(err)
+	}
+	res, _, err := ix.KNN(simquery.Point{0.15, 0.12}, 2, "crss")
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range res {
+		fmt.Printf("#%d: landmark %d\n", i+1, r.Object)
+	}
+	// Output:
+	// #1: landmark 0
+	// #2: landmark 1
+}
