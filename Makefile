@@ -1,0 +1,39 @@
+# Targets mirror the CI jobs (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet test race lint bench full
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## test: the CI test job (short mode — slow simulations skipped).
+test:
+	$(GO) test -short ./...
+
+## race: the CI race-detector gate for the concurrent engine.
+race:
+	$(GO) test -race -short ./...
+
+## lint: gofmt cleanliness + staticcheck (installed on demand).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	@command -v staticcheck >/dev/null 2>&1 || \
+		$(GO) install honnef.co/go/tools/cmd/staticcheck@latest
+	staticcheck ./...
+
+## bench: benchmark smoke — every benchmark once (the nightly job).
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+## full: everything the manually-dispatched nightly job runs.
+full:
+	$(GO) test ./...
+	$(GO) test -race ./...
+	$(GO) test -bench=. -benchtime=1x ./...

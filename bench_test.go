@@ -9,15 +9,18 @@
 package simquery_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/decluster"
 	"repro/internal/disk"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/harness"
 	"repro/internal/pagestore"
@@ -205,6 +208,57 @@ func BenchmarkKNNBBSS(b *testing.B)   { benchKNN(b, query.BBSS{}, 10) }
 func BenchmarkKNNFPSS(b *testing.B)   { benchKNN(b, query.FPSS{}, 10) }
 func BenchmarkKNNCRSS(b *testing.B)   { benchKNN(b, query.CRSS{}, 10) }
 func BenchmarkKNNWOPTSS(b *testing.B) { benchKNN(b, query.WOPTSS{}, 10) }
+
+// BenchmarkEngineThroughput measures end-to-end queries/sec of the real
+// concurrent execution engine (package exec) against the sequential
+// Driver baseline. The engine sub-benchmarks run GOMAXPROCS client
+// goroutines against one shared engine while scaling the per-disk
+// worker count; on a multi-core runner throughput grows with workers
+// over the sequential path. Compare the queries/sec metric across
+// sub-benchmarks.
+func BenchmarkEngineThroughput(b *testing.B) {
+	knnSetup(b)
+	const k = 10
+
+	reportQPS := func(b *testing.B) {
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N)/s, "queries/sec")
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		d := query.Driver{Tree: knnTree}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Run(query.CRSS{}, knnQueries[i%len(knnQueries)], k, query.Options{})
+		}
+		reportQPS(b)
+	})
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("engine-workers=%dx%d", 10, workers), func(b *testing.B) {
+			eng, err := exec.New(knnTree, exec.Config{WorkersPerDisk: workers, CachePages: 1024})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			ctx := context.Background()
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1))
+					q := knnQueries[i%len(knnQueries)]
+					if _, _, err := eng.KNN(ctx, query.CRSS{}, q, k, query.Options{}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			reportQPS(b)
+		})
+	}
+}
 
 func BenchmarkPageCodecEncode(b *testing.B) {
 	c := pagestore.Codec{Dim: 2, PageSize: 4096}

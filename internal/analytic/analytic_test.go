@@ -122,6 +122,9 @@ func TestModelTreeShape(t *testing.T) {
 // The headline validation: analytic node accesses and response times
 // track the simulator on uniform data within documented tolerance.
 func TestAnalyticTracksSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	const n, dim, disks = 20000, 2, 10
 	pts := dataset.Uniform(n, dim, 9)
 	tree, err := parallel.New(parallel.Config{

@@ -1,0 +1,164 @@
+package bufferpool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func idHash(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }
+
+func TestShardedBasic(t *testing.T) {
+	s := NewSharded[int, string](8, 4, idHash)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("unexpected hit on empty pool")
+	}
+	s.Put(1, "one")
+	if v, ok := s.Get(1); !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v; want one, true", v, ok)
+	}
+	s.Remove(1)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("hit after Remove")
+	}
+	if s.Capacity() < 8 {
+		t.Fatalf("Capacity() = %d, want >= 8", s.Capacity())
+	}
+}
+
+func TestShardedEvictsWithinCapacity(t *testing.T) {
+	s := NewSharded[int, int](16, 4, idHash)
+	for i := 0; i < 1000; i++ {
+		s.Put(i, i)
+	}
+	if got := s.Len(); got > s.Capacity() {
+		t.Fatalf("Len() = %d exceeds capacity %d", got, s.Capacity())
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions after overfilling")
+	}
+}
+
+func TestShardedGetOrFetchDeduplicates(t *testing.T) {
+	s := NewSharded[int, int](64, 8, idHash)
+	var fetches atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.GetOrFetch(7, func() (int, error) {
+				fetches.Add(1)
+				<-release // hold the flight open so everyone piles on
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("GetOrFetch: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("fetch ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d, want 42", i, v)
+		}
+	}
+	if v, ok := s.Get(7); !ok || v != 42 {
+		t.Fatalf("value not cached after flight: %d, %v", v, ok)
+	}
+}
+
+func TestShardedGetOrFetchErrorNotCached(t *testing.T) {
+	s := NewSharded[int, int](8, 2, idHash)
+	boom := errors.New("boom")
+	if _, err := s.GetOrFetch(3, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := s.Get(3); ok {
+		t.Fatal("failed fetch must not be cached")
+	}
+	// A later caller retries and can succeed.
+	if v, err := s.GetOrFetch(3, func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("retry = %d, %v; want 9, nil", v, err)
+	}
+}
+
+// TestShardedConcurrentGetEvict hammers a small pool from many
+// goroutines so gets, puts, evictions and deduplicated fetches overlap;
+// run under -race it is the bufferpool concurrency gate.
+func TestShardedConcurrentGetEvict(t *testing.T) {
+	s := NewSharded[int, int](32, 4, idHash)
+	const (
+		goroutines = 16
+		keys       = 256
+		iterations = 500
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				k := (g*31 + i) % keys
+				switch i % 4 {
+				case 0:
+					s.Put(k, k)
+				case 1:
+					if v, ok := s.Get(k); ok && v != k {
+						t.Errorf("Get(%d) = %d", k, v)
+					}
+				case 2:
+					v, err := s.GetOrFetch(k, func() (int, error) { return k, nil })
+					if err != nil || v != k {
+						t.Errorf("GetOrFetch(%d) = %d, %v", k, v, err)
+					}
+				default:
+					s.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Len(); got > s.Capacity() {
+		t.Fatalf("Len() = %d exceeds capacity %d", got, s.Capacity())
+	}
+}
+
+func TestShardedPanicsOnBadConfig(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"capacity": func() { NewSharded[int, int](0, 1, idHash) },
+		"shards":   func() { NewSharded[int, int](4, 0, idHash) },
+		"hash":     func() { NewSharded[int, int](4, 2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShardedMoreShardsThanCapacity(t *testing.T) {
+	s := NewSharded[int, int](2, 64, idHash)
+	for i := 0; i < 10; i++ {
+		s.Put(i, i)
+	}
+	if s.Len() > s.Capacity() {
+		t.Fatalf("Len %d > Capacity %d", s.Len(), s.Capacity())
+	}
+	if st := s.Stats(); st.Inserts == 0 {
+		t.Fatal("expected inserts recorded")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -104,5 +105,67 @@ func TestSnapshotLoadIndex(t *testing.T) {
 	}
 	if run.MeanResponse <= 0 {
 		t.Error("loaded index simulation produced no timing")
+	}
+}
+
+// TestEngineFrontEnd drives the public concurrent engine: results match
+// the sequential Index.KNN path for every algorithm name, and many
+// client goroutines can share one engine (run with -race).
+func TestEngineFrontEnd(t *testing.T) {
+	ix := newTestIndex(t, 2, 6)
+	pts := dataset.Clustered(4000, 2, 6, 31)
+	if err := ix.InsertAll(pts, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ix.NewEngine(EngineConfig{WorkersPerDisk: 2, CachePages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.NumWorkers() != 12 {
+		t.Fatalf("NumWorkers = %d, want 12", eng.NumWorkers())
+	}
+
+	queries := dataset.SampleQueries(pts, 12, 17)
+	for _, name := range []string{"crss", "bbss", "fpss", "bfss"} {
+		for qi, q := range queries {
+			want, _, err := ix.KNN(q, 8, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := eng.KNN(context.Background(), q, 8, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s q%d: %d results, want %d", name, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Object != want[i].Object || got[i].DistSq != want[i].DistSq {
+					t.Fatalf("%s q%d: result %d differs", name, qi, i)
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < 5; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, _, err := eng.KNN(context.Background(), queries[(c+i)%len(queries)], 8, ""); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if st := eng.Stats(); st.Queries == 0 || st.PagesFetched == 0 {
+		t.Fatalf("engine counters empty: %+v", st)
+	}
+	if _, _, err := eng.KNN(context.Background(), queries[0], 8, "nope"); err == nil {
+		t.Error("unknown algorithm accepted")
 	}
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/bufferpool"
 	"repro/internal/decluster"
 	"repro/internal/disk"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/parallel"
 	"repro/internal/query"
@@ -263,6 +265,68 @@ func (ix *Index) Simulate(w SimulatedWorkload) (RunResult, error) {
 		Options:     opts,
 	})
 }
+
+// EngineConfig tunes the real concurrent execution engine (see
+// repro/internal/exec.Config).
+type EngineConfig = exec.Config
+
+// EngineStats are the engine's cumulative counters.
+type EngineStats = exec.Stats
+
+// Engine is a real concurrent k-NN execution engine over an Index: one
+// worker goroutine per simulated disk serves page fetches, and many
+// client goroutines may query it at once. It contrasts with Simulate,
+// which models the same parallelism on a virtual clock — see the README
+// section "Real vs. simulated parallelism".
+//
+// The engine snapshots the index's pages when it is created and
+// queries answer as of that snapshot. Do not mutate the index while an
+// engine is open — structural changes (splits, frees) invalidate the
+// snapshot; build a new engine after loading data. Each engine query
+// holds the index's read lock, so an accidental concurrent mutation is
+// a stale-snapshot error, not a data race.
+type Engine struct {
+	ix  *Index
+	eng *exec.Engine
+}
+
+// NewEngine opens a concurrent execution engine over the index.
+// Close it to release its worker goroutines.
+func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	eng, err := exec.New(ix.tree, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ix: ix, eng: eng}, nil
+}
+
+// KNN answers a k-nearest-neighbor query with the named algorithm
+// (empty string = CRSS). It is safe to call from many goroutines; the
+// context cancels the query mid-flight.
+func (e *Engine) KNN(ctx context.Context, q Point, k int, algorithm string) ([]Neighbor, *QueryStats, error) {
+	alg, err := AlgorithmByName(algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.ix.mu.RLock()
+	defer e.ix.mu.RUnlock()
+	return e.eng.KNN(ctx, alg, q, k, query.Options{})
+}
+
+// Stats returns the engine's cumulative counters.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// CacheStats returns the engine's shared page-cache counters (zero
+// when EngineConfig.CachePages is 0).
+func (e *Engine) CacheStats() bufferpool.Stats { return e.eng.CacheStats() }
+
+// NumWorkers returns the number of disk worker goroutines.
+func (e *Engine) NumWorkers() int { return e.eng.NumWorkers() }
+
+// Close stops the engine's workers; pending queries unwind first.
+func (e *Engine) Close() { e.eng.Close() }
 
 // Check validates the index invariants (tree structure, entry counts,
 // page placements). Intended for tests and tools.

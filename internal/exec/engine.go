@@ -1,0 +1,365 @@
+// Package exec is the real concurrent query-execution engine: it maps
+// the paper's N-disk parallelism onto actual goroutines instead of the
+// event-driven simulator's virtual clock. One worker goroutine serves
+// each simulated disk (more with Config.WorkersPerDisk), owning that
+// disk's encoded page images and draining a per-disk fetch channel —
+// the Go-native analogue of the paper's array, where a page fetch
+// really costs work (a page decode) on the worker that owns the disk.
+//
+// The same stage-driven query.Execution state machines that run under
+// the immediate Driver and the system simulator run here unchanged: the
+// Engine resolves each stage's batched page requests by fanning them
+// out to the disk workers, collecting completions asynchronously, and
+// delivering the nodes in request order so results are bit-for-bit
+// identical to the sequential paths. Many client goroutines may query a
+// shared Engine concurrently; total outstanding page fetches are
+// bounded, and queries honor context cancellation mid-flight.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bufferpool"
+	"repro/internal/geom"
+	"repro/internal/pagestore"
+	"repro/internal/parallel"
+	"repro/internal/query"
+	"repro/internal/rtree"
+)
+
+// ErrClosed is returned by KNN after Close.
+var ErrClosed = errors.New("exec: engine closed")
+
+// Config tunes the engine. The zero value picks sensible defaults.
+type Config struct {
+	// WorkersPerDisk is the number of goroutines serving each simulated
+	// disk's fetch queue (default 1 — the paper's one-arm-per-disk
+	// model; more overlaps page decodes on multi-core hosts).
+	WorkersPerDisk int
+	// QueueDepth is the per-disk fetch channel buffer (default 32).
+	// When a disk's queue is full, request submission blocks — natural
+	// backpressure against one hot disk.
+	QueueDepth int
+	// MaxInFlight bounds the total outstanding page fetches across all
+	// queries (default 4 fetches per worker). Admission of new stage
+	// batches blocks once the bound is reached.
+	MaxInFlight int
+	// CachePages enables a shared decoded-page LRU cache of that many
+	// pages with singleflight fetch deduplication (0 = no cache; every
+	// request decodes from its disk's page image).
+	CachePages int
+	// CacheShards is the lock sharding of the page cache (default 8).
+	CacheShards int
+}
+
+func (c *Config) fill() {
+	if c.WorkersPerDisk <= 0 {
+		c.WorkersPerDisk = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
+}
+
+// Stats are the engine's cumulative counters (monotonic since New).
+type Stats struct {
+	Queries      uint64 // queries completed successfully
+	Cancelled    uint64 // queries aborted by context or Close
+	PagesFetched uint64 // page fetches served by disk workers
+	Decodes      uint64 // physical page decodes (cache misses when caching)
+}
+
+// diskStore is one disk's content: the encoded image of every page
+// placed on the disk, built once at engine construction and immutable
+// afterwards, so the disk's workers read it without locks. Nodes that
+// cannot be encoded into a single page (X-tree supernodes) stay
+// resident as live node references.
+type diskStore struct {
+	codec    pagestore.Codec
+	pages    map[rtree.PageID][]byte
+	resident map[rtree.PageID]*rtree.Node
+}
+
+func (s *diskStore) read(id rtree.PageID) (*rtree.Node, error) {
+	if buf, ok := s.pages[id]; ok {
+		return s.codec.Decode(buf)
+	}
+	if n, ok := s.resident[id]; ok {
+		return n, nil
+	}
+	return nil, fmt.Errorf("exec: page %d not stored on this disk", id)
+}
+
+// fetchJob asks a disk worker for one page of a stage batch.
+type fetchJob struct {
+	page rtree.PageID
+	idx  int // position in the stage's request slice
+	ctx  context.Context
+	out  chan<- fetchResult
+}
+
+type fetchResult struct {
+	idx  int
+	node *rtree.Node
+	err  error
+}
+
+// Engine executes k-NN queries concurrently against a shared parallel
+// R*-tree. The tree must not be mutated while the engine is open: the
+// engine snapshots page content at construction and reads tree
+// placement metadata without locks.
+type Engine struct {
+	tree   *parallel.Tree
+	cfg    Config
+	stores []*diskStore
+	queues []chan *fetchJob
+	sem    chan struct{} // in-flight fetch slots
+	cache  *bufferpool.Sharded[rtree.PageID, *rtree.Node]
+
+	mu       sync.Mutex
+	isClosed bool
+	closed   chan struct{}  // signals Close to blocked submitters
+	active   sync.WaitGroup // running KNN calls
+	workers  sync.WaitGroup
+
+	queries      atomic.Uint64
+	cancelled    atomic.Uint64
+	pagesFetched atomic.Uint64
+	decodes      atomic.Uint64
+}
+
+// New builds an engine over a tree: every live page is encoded into its
+// disk's store (per the tree's declustering placements) and the disk
+// workers are started. Close releases them.
+func New(t *parallel.Tree, cfg Config) (*Engine, error) {
+	cfg.fill()
+	n := t.NumDisks()
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * n * cfg.WorkersPerDisk
+	}
+	e := &Engine{
+		tree:   t,
+		cfg:    cfg,
+		stores: make([]*diskStore, n),
+		queues: make([]chan *fetchJob, n),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		closed: make(chan struct{}),
+	}
+	tc := t.Config()
+	codec := pagestore.Codec{Dim: tc.Dim, PageSize: tc.PageSize, Spheres: tc.UseSpheres}
+	for d := range e.stores {
+		e.stores[d] = &diskStore{
+			codec:    codec,
+			pages:    make(map[rtree.PageID][]byte),
+			resident: make(map[rtree.PageID]*rtree.Node),
+		}
+	}
+	var buildErr error
+	t.Walk(func(n *rtree.Node, _ int) bool {
+		pl, ok := t.Placement(n.ID)
+		if !ok {
+			buildErr = fmt.Errorf("exec: live page %d has no placement", n.ID)
+			return false
+		}
+		st := e.stores[pl.Disk]
+		if buf, err := codec.Encode(n); err == nil {
+			st.pages[n.ID] = buf
+		} else {
+			// Supernodes (and any other node exceeding one page) are
+			// served from the live in-memory node.
+			st.resident[n.ID] = n
+		}
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if cfg.CachePages > 0 {
+		e.cache = bufferpool.NewSharded[rtree.PageID, *rtree.Node](
+			cfg.CachePages, cfg.CacheShards,
+			func(id rtree.PageID) uint64 { return uint64(uint32(id)) * 0x9e3779b97f4a7c15 })
+	}
+	for d := 0; d < n; d++ {
+		e.queues[d] = make(chan *fetchJob, cfg.QueueDepth)
+		for w := 0; w < cfg.WorkersPerDisk; w++ {
+			e.workers.Add(1)
+			go e.worker(d)
+		}
+	}
+	return e, nil
+}
+
+// NumWorkers returns the total number of disk worker goroutines.
+func (e *Engine) NumWorkers() int { return e.tree.NumDisks() * e.cfg.WorkersPerDisk }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:      e.queries.Load(),
+		Cancelled:    e.cancelled.Load(),
+		PagesFetched: e.pagesFetched.Load(),
+		Decodes:      e.decodes.Load(),
+	}
+}
+
+// CacheStats returns the shared page cache counters (zero when the
+// cache is disabled).
+func (e *Engine) CacheStats() bufferpool.Stats {
+	if e.cache == nil {
+		return bufferpool.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// worker serves one disk's fetch queue until Close drains it.
+func (e *Engine) worker(d int) {
+	defer e.workers.Done()
+	st := e.stores[d]
+	for job := range e.queues[d] {
+		res := fetchResult{idx: job.idx}
+		if err := job.ctx.Err(); err != nil {
+			res.err = err
+		} else {
+			res.node, res.err = e.readPage(st, job.page)
+			e.pagesFetched.Add(1)
+		}
+		job.out <- res // buffered to batch size; never blocks
+		<-e.sem        // release the in-flight slot
+	}
+}
+
+// readPage resolves one page through the shared cache (singleflight
+// deduplicated) or straight from the disk store.
+func (e *Engine) readPage(st *diskStore, id rtree.PageID) (*rtree.Node, error) {
+	if e.cache == nil {
+		e.decodes.Add(1)
+		return st.read(id)
+	}
+	return e.cache.GetOrFetch(id, func() (*rtree.Node, error) {
+		e.decodes.Add(1)
+		return st.read(id)
+	})
+}
+
+// fetchBatch resolves one stage's requests through the disk workers:
+// jobs fan out to the per-disk queues (respecting the in-flight bound)
+// and completions are collected asynchronously, then reordered to
+// request order — executions depend on request-order delivery for
+// deterministic tie-breaking, which is what makes engine results
+// identical to the sequential Driver's.
+func (e *Engine) fetchBatch(ctx context.Context, reqs []query.PageRequest) ([]*rtree.Node, error) {
+	out := make(chan fetchResult, len(reqs))
+	submitted := 0
+	var err error
+submit:
+	for i, r := range reqs {
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break submit
+		case <-e.closed:
+			err = ErrClosed
+			break submit
+		}
+		job := &fetchJob{page: r.Page, idx: i, ctx: ctx, out: out}
+		select {
+		case e.queues[r.Disk] <- job:
+			submitted++
+		case <-ctx.Done():
+			<-e.sem
+			err = ctx.Err()
+			break submit
+		case <-e.closed:
+			<-e.sem
+			err = ErrClosed
+			break submit
+		}
+	}
+	nodes := make([]*rtree.Node, len(reqs))
+	for c := 0; c < submitted; c++ {
+		res := <-out
+		if res.err != nil {
+			if err == nil {
+				err = res.err
+			}
+			continue
+		}
+		nodes[res.idx] = res.node
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nodes, nil
+}
+
+// KNN answers one k-nearest-neighbor query. It is safe to call from
+// many goroutines concurrently; the query's page fetches execute on the
+// per-disk workers. The context cancels the query between (and during)
+// fetch stages. opts.SharedCache must be nil — the single-threaded
+// bufferpool.Pool is not safe under the engine; configure the engine's
+// own CachePages instead.
+func (e *Engine) KNN(ctx context.Context, alg query.Algorithm, q geom.Point, k int, opts query.Options) ([]query.Neighbor, *query.Stats, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("exec: k must be positive, got %d", k)
+	}
+	if q.Dim() != e.tree.Config().Dim {
+		return nil, nil, fmt.Errorf("exec: query dim %d, tree dim %d", q.Dim(), e.tree.Config().Dim)
+	}
+	if opts.SharedCache != nil {
+		return nil, nil, errors.New("exec: Options.SharedCache is not concurrency-safe; use Config.CachePages")
+	}
+	if err := e.begin(); err != nil {
+		return nil, nil, err
+	}
+	defer e.active.Done()
+
+	ex := alg.NewExecution(e.tree, q, k, opts)
+	err := query.RunWith(ex, alg.Name(), func(reqs []query.PageRequest) ([]*rtree.Node, error) {
+		return e.fetchBatch(ctx, reqs)
+	})
+	if err != nil {
+		e.cancelled.Add(1)
+		return nil, nil, err
+	}
+	e.queries.Add(1)
+	return ex.Results(), ex.Stats(), nil
+}
+
+// begin admits a query unless the engine is closed.
+func (e *Engine) begin() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.isClosed {
+		return ErrClosed
+	}
+	e.active.Add(1)
+	return nil
+}
+
+// Close rejects new queries, aborts queries blocked on admission,
+// waits for running queries to unwind, and stops the workers. It is
+// idempotent and safe to call concurrently with KNN.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.isClosed {
+		e.mu.Unlock()
+		return
+	}
+	e.isClosed = true
+	close(e.closed)
+	e.mu.Unlock()
+
+	e.active.Wait()
+	for _, q := range e.queues {
+		close(q)
+	}
+	e.workers.Wait()
+}

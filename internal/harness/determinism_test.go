@@ -5,6 +5,9 @@ import "testing"
 // TestExperimentsDeterministic: identical options must reproduce
 // identical tables — the property that makes EXPERIMENTS.md checkable.
 func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	opt := Options{Scale: 0.04, Queries: 5, Seed: 77}
 	for _, id := range []string{"fig8-cp", "fig10-lb", "table3"} {
 		a, err := Run(id, opt)

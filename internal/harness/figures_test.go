@@ -34,6 +34,9 @@ func checkTableWellFormed(t *testing.T, tb *Table, wantSeries int) {
 }
 
 func TestFig11SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	tb, err := Fig11K10(Options{Scale: 0.04, Queries: 5, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +60,9 @@ func TestFig12SmallScale(t *testing.T) {
 }
 
 func TestTable4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	tb, err := Table4(Options{Scale: 0.04, Queries: 5, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -68,6 +74,9 @@ func TestTable4SmallScale(t *testing.T) {
 }
 
 func TestAblationDeclusterSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	tb, err := AblationDecluster(Options{Scale: 0.04, Queries: 5, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +178,9 @@ func TestAblationCPUsSmallScale(t *testing.T) {
 }
 
 func TestAblationRangeSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	tb, err := AblationRange(Options{Scale: 0.04, Queries: 5, Seed: 7})
 	if err != nil {
 		t.Fatal(err)

@@ -149,6 +149,9 @@ func TestFig10SmallScale(t *testing.T) {
 }
 
 func TestTable3SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow simulation test in -short mode")
+	}
 	tb, err := Table3(tinyOpts())
 	if err != nil {
 		t.Fatal(err)

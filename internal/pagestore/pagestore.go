@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -193,14 +194,22 @@ func (c Codec) Decode(buf []byte) (*rtree.Node, error) {
 // PagedStore is an rtree.Store whose nodes shadow into encoded
 // fixed-size pages on every Update. The decoded working set stays in
 // memory; the encoded image proves page-fit and supports Snapshot.
+//
+// A readers-writer lock makes the store safe for concurrent readers
+// (Get, Page, Len) alongside each other and serializes mutations
+// (Allocate, Update, Free) — the concurrent query engine reads pages
+// from many goroutines at once. Mutating while reads are in flight is
+// safe at the store level, though returned *Node values are shared and
+// must not be read while tree structural operations rewrite them.
 type PagedStore struct {
+	mu     sync.RWMutex
 	codec  Codec
 	nodes  map[rtree.PageID]*rtree.Node
 	pages  map[rtree.PageID][]byte
 	nextID rtree.PageID
 
-	Encodes uint64 // write-backs performed
-	Bytes   int    // total encoded bytes held
+	encodes uint64 // write-backs performed
+	bytes   int    // total encoded bytes held
 }
 
 // NewPagedStore creates a store for pages of the given size and
@@ -231,7 +240,9 @@ func (s *PagedStore) Codec() Codec { return s.codec }
 
 // Get implements rtree.Store.
 func (s *PagedStore) Get(id rtree.PageID) *rtree.Node {
+	s.mu.RLock()
 	n, ok := s.nodes[id]
+	s.mu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("pagestore: unknown page %d", id))
 	}
@@ -240,6 +251,8 @@ func (s *PagedStore) Get(id rtree.PageID) *rtree.Node {
 
 // Allocate implements rtree.Store.
 func (s *PagedStore) Allocate(level int) *rtree.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := &rtree.Node{ID: s.nextID, Level: level}
 	s.nextID++
 	s.nodes[n.ID] = n
@@ -255,33 +268,61 @@ func (s *PagedStore) Update(n *rtree.Node) {
 	if err != nil {
 		panic(err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if old, ok := s.pages[n.ID]; ok {
-		s.Bytes -= len(old)
+		s.bytes -= len(old)
 	}
 	s.pages[n.ID] = buf
-	s.Bytes += len(buf)
-	s.Encodes++
+	s.bytes += len(buf)
+	s.encodes++
 }
 
 // Free implements rtree.Store.
 func (s *PagedStore) Free(id rtree.PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.nodes, id)
 	if old, ok := s.pages[id]; ok {
-		s.Bytes -= len(old)
+		s.bytes -= len(old)
 		delete(s.pages, id)
 	}
 }
 
 // Len implements rtree.Store.
-func (s *PagedStore) Len() int { return len(s.nodes) }
+func (s *PagedStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
 
 // Page returns the encoded image of a page (nil when the node was never
 // updated).
-func (s *PagedStore) Page(id rtree.PageID) []byte { return s.pages[id] }
+func (s *PagedStore) Page(id rtree.PageID) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pages[id]
+}
+
+// Encodes returns the number of write-backs performed.
+func (s *PagedStore) Encodes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.encodes
+}
+
+// Bytes returns the total encoded bytes held.
+func (s *PagedStore) Bytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
 
 // VerifyShadow re-decodes every encoded page and checks it matches the
 // in-memory node. Used by tests and by treestat as a consistency audit.
 func (s *PagedStore) VerifyShadow() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for id, n := range s.nodes {
 		buf, ok := s.pages[id]
 		if !ok {

@@ -2,6 +2,7 @@ package pagestore
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -148,7 +149,7 @@ func TestPagedStoreDrivesTree(t *testing.T) {
 	if err := ps.VerifyShadow(); err != nil {
 		t.Fatal(err)
 	}
-	if ps.Encodes == 0 {
+	if ps.Encodes() == 0 {
 		t.Error("no pages were encoded")
 	}
 	// Deletes keep the shadow consistent too.
@@ -160,7 +161,7 @@ func TestPagedStoreDrivesTree(t *testing.T) {
 	if err := ps.VerifyShadow(); err != nil {
 		t.Fatal(err)
 	}
-	if ps.Len() == 0 || ps.Bytes == 0 {
+	if ps.Len() == 0 || ps.Bytes() == 0 {
 		t.Error("store emptied unexpectedly")
 	}
 	// kNN over the paged store must match results over a mem store.
@@ -190,11 +191,59 @@ func TestPagedStoreFreeReclaims(t *testing.T) {
 	n := ps.Allocate(0)
 	n.Entries = append(n.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{1, 2}), 7))
 	ps.Update(n)
-	if ps.Bytes != 4096 {
-		t.Errorf("bytes = %d", ps.Bytes)
+	if ps.Bytes() != 4096 {
+		t.Errorf("bytes = %d", ps.Bytes())
 	}
 	ps.Free(n.ID)
-	if ps.Bytes != 0 || ps.Len() != 0 {
+	if ps.Bytes() != 0 || ps.Len() != 0 {
 		t.Error("Free did not reclaim")
 	}
+}
+
+// TestPagedStoreConcurrentReads drives concurrent Get/Page/Len readers
+// against a populated store while a writer keeps updating; under -race
+// this is the pagestore concurrency gate.
+func TestPagedStoreConcurrentReads(t *testing.T) {
+	ps := NewPagedStore(4096, 2)
+	ids := make([]rtree.PageID, 64)
+	for i := range ids {
+		n := ps.Allocate(0)
+		n.Entries = append(n.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{float64(i), 1}), rtree.ObjectID(i)))
+		ps.Update(n)
+		ids[i] = n.ID
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[(g*17+i)%len(ids)]
+				if ps.Get(id).ID != id {
+					t.Errorf("Get(%d) returned wrong node", id)
+					return
+				}
+				if ps.Page(id) == nil {
+					t.Errorf("Page(%d) nil", id)
+					return
+				}
+				_ = ps.Len()
+				_ = ps.Bytes()
+			}
+		}(g)
+	}
+	writer := ps.Allocate(0)
+	for i := 0; i < 2000; i++ {
+		writer.Entries = writer.Entries[:0]
+		writer.Entries = append(writer.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{float64(i), 2}), rtree.ObjectID(i)))
+		ps.Update(writer)
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -3,6 +3,7 @@ package parallel
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -52,7 +53,7 @@ func (t *Tree) Snapshot(w io.Writer) error {
 	}
 	policy := t.policy.Name()
 	if len(policy) > 255 {
-		return fmt.Errorf("parallel: policy name too long")
+		return errors.New("parallel: policy name too long")
 	}
 	if err := bw.WriteByte(byte(len(policy))); err != nil {
 		return err

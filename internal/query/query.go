@@ -241,6 +241,42 @@ func (bl *bestList) results() []Neighbor {
 	return out
 }
 
+// Fetcher resolves one batch of page requests into nodes. The returned
+// slice must hold the node for Requests[i] at position i — executions
+// rely on request-order delivery for deterministic tie-breaking, so a
+// concurrent fetcher must reorder completions before handing them back.
+// A Fetcher is the driver abstraction shared by the three execution
+// environments: the immediate Driver below, the event-driven system
+// simulator (package simarray), and the real concurrent engine
+// (package exec).
+type Fetcher func(reqs []PageRequest) ([]*rtree.Node, error)
+
+// RunWith drives an execution to completion, resolving each stage's
+// page requests through fetch. It returns the first fetch error
+// (typically a cancelled context in the concurrent engine); on success
+// the execution is Done and its Results/Stats are valid.
+func RunWith(exec Execution, name string, fetch Fetcher) error {
+	var delivered []*rtree.Node
+	for {
+		sr := exec.Step(delivered)
+		if len(sr.Requests) == 0 {
+			if !exec.Done() {
+				panic(fmt.Sprintf("query: %s returned no requests but is not done", name))
+			}
+			return nil
+		}
+		var err error
+		delivered, err = fetch(sr.Requests)
+		if err != nil {
+			return err
+		}
+		if len(delivered) != len(sr.Requests) {
+			panic(fmt.Sprintf("query: %s fetcher returned %d nodes for %d requests",
+				name, len(delivered), len(sr.Requests)))
+		}
+	}
+}
+
 // Driver executes a query to completion with immediate page delivery —
 // no timing, exact access accounting. It is the engine behind the
 // effectiveness experiments (Figures 8 and 9) and all correctness tests.
@@ -253,19 +289,13 @@ type Driver struct {
 func (d Driver) Run(alg Algorithm, q geom.Point, k int, opts Options) ([]Neighbor, *Stats) {
 	exec := alg.NewExecution(d.Tree, q, k, opts)
 	var delivered []*rtree.Node
-	for {
-		sr := exec.Step(delivered)
-		if len(sr.Requests) == 0 {
-			if !exec.Done() {
-				panic(fmt.Sprintf("query: %s returned no requests but is not done", alg.Name()))
-			}
-			break
-		}
+	_ = RunWith(exec, alg.Name(), func(reqs []PageRequest) ([]*rtree.Node, error) {
 		delivered = delivered[:0]
-		for _, r := range sr.Requests {
+		for _, r := range reqs {
 			delivered = append(delivered, d.Tree.Store().Get(r.Page))
 		}
-	}
+		return delivered, nil
+	})
 	return exec.Results(), exec.Stats()
 }
 

@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -158,7 +159,7 @@ func Restore(cfg Config, store Store, root PageID, size int) (*Tree, error) {
 		return nil, err
 	}
 	if store == nil {
-		return nil, fmt.Errorf("rtree: Restore requires a store")
+		return nil, errors.New("rtree: Restore requires a store")
 	}
 	rootNode := store.Get(root) // panics on unknown page, as documented
 	t := &Tree{

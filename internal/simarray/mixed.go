@@ -1,6 +1,7 @@
 package simarray
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -137,7 +138,7 @@ func (s *System) runInsert(p geom.Point, id rtree.ObjectID, out *InsertOutcome) 
 // simulator does not model.
 func (s *System) RunMixed(w MixedWorkload) (MixedResult, error) {
 	if len(w.Inserts) > 0 && w.InsertRate <= 0 {
-		return MixedResult{}, fmt.Errorf("simarray: mixed workload needs a positive InsertRate")
+		return MixedResult{}, errors.New("simarray: mixed workload needs a positive InsertRate")
 	}
 	outcomes := make([]InsertOutcome, len(w.Inserts))
 	arr := rand.New(rand.NewSource(s.cfg.Seed + 777))

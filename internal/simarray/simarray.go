@@ -15,6 +15,7 @@
 package simarray
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -329,13 +330,13 @@ func (p *queryProc) finish() {
 // paper's experiments run 100 queries and average the response time.
 func (s *System) Run(w Workload) (RunResult, error) {
 	if w.Algorithm == nil {
-		return RunResult{}, fmt.Errorf("simarray: workload has no algorithm")
+		return RunResult{}, errors.New("simarray: workload has no algorithm")
 	}
 	if w.K <= 0 {
 		return RunResult{}, fmt.Errorf("simarray: k must be positive, got %d", w.K)
 	}
 	if len(w.Queries) == 0 {
-		return RunResult{}, fmt.Errorf("simarray: workload has no queries")
+		return RunResult{}, errors.New("simarray: workload has no queries")
 	}
 	outcomes := make([]QueryOutcome, len(w.Queries))
 	procs := make([]*queryProc, len(w.Queries))

@@ -45,6 +45,14 @@ type (
 	RunResult = core.RunResult
 	// QueryOutcome is the timing record of one simulated query.
 	QueryOutcome = core.QueryOutcome
+	// Engine is the real concurrent k-NN execution engine: one worker
+	// goroutine per simulated disk, many client goroutines. Open one
+	// with Index.NewEngine.
+	Engine = core.Engine
+	// EngineConfig tunes the concurrent engine.
+	EngineConfig = core.EngineConfig
+	// EngineStats are the engine's cumulative counters.
+	EngineStats = core.EngineStats
 )
 
 // NewIndex creates an empty disk-array similarity index.
