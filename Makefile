@@ -37,3 +37,5 @@ full:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(GO) test -bench=. -benchtime=1x ./...
+	OBS_OVERHEAD=1 $(GO) test -run TestObservedOverhead -v .
+	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput/engine-workers=10x2$$|BenchmarkEngineObserved' -benchtime 2s .

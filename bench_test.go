@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/decluster"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 	"repro/internal/parallel"
 	"repro/internal/query"
@@ -170,7 +172,7 @@ var knnTreeOnce sync.Once
 var knnTree *parallel.Tree
 var knnQueries []geom.Point
 
-func knnSetup(b *testing.B) {
+func knnSetup(tb testing.TB) {
 	knnTreeOnce.Do(func() {
 		pts := dataset.CaliforniaLike(20000, 3)
 		t, err := parallel.New(parallel.Config{
@@ -187,7 +189,7 @@ func knnSetup(b *testing.B) {
 		knnQueries = dataset.SampleQueries(pts, 256, 4)
 	})
 	if knnTree == nil {
-		b.Fatal("knn tree setup failed")
+		tb.Fatal("knn tree setup failed")
 	}
 }
 
@@ -257,6 +259,88 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			})
 			reportQPS(b)
 		})
+	}
+}
+
+// BenchmarkEngineObserved is the engine-workers=10x2 sub-benchmark of
+// BenchmarkEngineThroughput with the full observability pipeline
+// attached: a per-query trace observer plus the engine's always-on
+// histograms and gauges. The nightly CI job runs both and compares the
+// queries/sec metrics — the observed path must stay within noise of
+// the uninstrumented one (the obs layer is single atomic ops).
+func BenchmarkEngineObserved(b *testing.B) {
+	knnSetup(b)
+	const k = 10
+	eng, err := exec.New(knnTree, exec.Config{WorkersPerDisk: 2, CachePages: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	var events atomic.Uint64
+	obsv := obs.ObserverFunc(func(obs.Event) { events.Add(1) })
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			q := knnQueries[i%len(knnQueries)]
+			if _, _, err := eng.KNN(ctx, query.CRSS{}, q, k, query.Options{Observer: obsv}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "queries/sec")
+	}
+	b.ReportMetric(float64(events.Load())/float64(b.N), "events/query")
+}
+
+// TestObservedOverhead is the nightly overhead smoke check (skipped
+// unless OBS_OVERHEAD is set): it times the same query mix through one
+// engine with and without a trace observer attached and fails if the
+// observed path is more than 25% slower — a loose bound chosen to
+// survive CI noise while still catching an accidental lock or
+// allocation on the hot path. Use the benchmark pair above for precise
+// numbers.
+func TestObservedOverhead(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD") == "" {
+		t.Skip("set OBS_OVERHEAD=1 to run the observability overhead check")
+	}
+	knnSetup(t)
+	eng, err := exec.New(knnTree, exec.Config{WorkersPerDisk: 2, CachePages: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	var sink atomic.Uint64
+	obsv := obs.ObserverFunc(func(obs.Event) { sink.Add(1) })
+
+	const rounds, queriesPerRound = 5, 200
+	run := func(opts query.Options) float64 {
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for i := 0; i < queriesPerRound; i++ {
+				if _, _, err := eng.KNN(ctx, query.CRSS{}, knnQueries[i%len(knnQueries)], 10, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s := time.Since(start).Seconds(); best == 0 || s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	run(query.Options{}) // warm the engine cache for both measurements
+	base := run(query.Options{})
+	observed := run(query.Options{Observer: obsv})
+	ratio := observed / base
+	t.Logf("uninstrumented %.4fs, observed %.4fs, ratio %.3f (%d events)", base, observed, ratio, sink.Load())
+	if ratio > 1.25 {
+		t.Errorf("observed path is %.0f%% slower than uninstrumented (limit 25%%)", (ratio-1)*100)
 	}
 }
 

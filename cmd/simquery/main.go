@@ -11,15 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -40,8 +43,18 @@ func main() {
 		sr     = flag.Bool("sr", false, "use the SR-tree access-method variant")
 		trace  = flag.Bool("trace", false, "print the algorithm's stage-by-stage trace (CRSS shows its ADAPTIVE/UPDATE/NORMAL/TERMINATE modes)")
 		qspec  = flag.String("q", "", "query point as comma-separated coordinates (default: sampled)")
+		engine = flag.Bool("engine", false, "also run the query on the real concurrent engine and print its latency snapshot")
+		obsFl  = flag.String("obs", "", "serve expvar and pprof debug endpoints on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	if *obsFl != "" {
+		_, addr, err := obs.StartDebugServer(*obsFl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("debug server: http://%s/debug/vars (expvar), /debug/pprof (profiles)\n", addr)
+	}
 
 	pts, err := loadPoints(*file, *set, *n, *dim, *seed)
 	if err != nil {
@@ -107,6 +120,34 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *engine {
+		eng, err := ix.NewEngine(core.EngineConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+		if *obsFl != "" {
+			eng.PublishExpvar("engine")
+		}
+		for _, name := range algs {
+			if _, _, err := eng.KNN(context.Background(), q, *k, name); err != nil {
+				log.Fatal(err)
+			}
+		}
+		s := eng.Snapshot()
+		fmt.Printf("concurrent engine (%d workers): %d queries, %d pages fetched, disk balance ratio %.2f\n",
+			eng.NumWorkers(), s.Stats.Queries, s.Stats.PagesFetched, s.BalanceRatio)
+		fmt.Printf("  query latency p50/p95/p99: %v / %v / %v\n",
+			secs(s.QueryLatency.P50()), secs(s.QueryLatency.P95()), secs(s.QueryLatency.P99()))
+		fmt.Printf("  fetch latency p50/p95/p99: %v / %v / %v\n",
+			secs(s.FetchLatency.P50()), secs(s.FetchLatency.P95()), secs(s.FetchLatency.P99()))
+	}
+}
+
+// secs renders a histogram quantile (in seconds) as a duration.
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond)
 }
 
 func loadPoints(file, set string, n, dim int, seed int64) ([]geom.Point, error) {

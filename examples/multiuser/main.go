@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -82,6 +83,16 @@ func main() {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+
+	// While the engine runs, its live snapshot (counters, per-disk
+	// gauges, latency percentiles) is scrapable from /debug/vars, and
+	// pprof profiles from /debug/pprof.
+	if srv, addr, err := obs.StartDebugServer("127.0.0.1:0"); err == nil {
+		defer srv.Close()
+		eng.PublishExpvar("engine")
+		fmt.Printf("\ndebug server: http://%s/debug/vars\n", addr)
+	}
+
 	const clients = 8
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -102,4 +113,17 @@ func main() {
 	fmt.Printf("\nreal concurrent engine: %d queries from %d clients in %v (%.0f q/s, %d page fetches)\n",
 		st.Queries, clients, elapsed.Round(time.Millisecond),
 		float64(st.Queries)/elapsed.Seconds(), st.PagesFetched)
+
+	// The engine's observability snapshot: how well the proximity-index
+	// declustering spread the load, and the tail latencies.
+	s := eng.Snapshot()
+	fmt.Printf("disk balance ratio %.2f (busiest/mean; 1.0 = perfectly declustered)\n", s.BalanceRatio)
+	fmt.Printf("query latency p50/p95/p99: %v / %v / %v\n",
+		asDuration(s.QueryLatency.P50()), asDuration(s.QueryLatency.P95()), asDuration(s.QueryLatency.P99()))
+	fmt.Printf("fetch latency p50/p95/p99: %v / %v / %v\n",
+		asDuration(s.FetchLatency.P50()), asDuration(s.FetchLatency.P95()), asDuration(s.FetchLatency.P99()))
+}
+
+func asDuration(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond)
 }

@@ -8,6 +8,7 @@ package bufferpool
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // Stats counts cache traffic.
@@ -28,9 +29,12 @@ func (s Stats) HitRate() float64 {
 }
 
 // Pool is a fixed-capacity LRU cache from K to V. The zero value is not
-// usable; call New. Pool is not safe for concurrent use — the simulator
-// is single-threaded by construction.
+// usable; call New. A single mutex guards every operation, which makes
+// the pool safe to share between the concurrent engine's query
+// goroutines; for heavy multi-core traffic prefer Sharded, which
+// spreads the lock over independently guarded shards.
 type Pool[K comparable, V any] struct {
+	mu       sync.Mutex
 	capacity int
 	ll       *list.List
 	items    map[K]*list.Element
@@ -57,6 +61,8 @@ func New[K comparable, V any](capacity int) *Pool[K, V] {
 
 // Get looks up key, promoting it to most-recently-used on a hit.
 func (p *Pool[K, V]) Get(key K) (V, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.items[key]; ok {
 		p.ll.MoveToFront(el)
 		p.stats.Hits++
@@ -70,6 +76,8 @@ func (p *Pool[K, V]) Get(key K) (V, bool) {
 // Contains reports whether key is cached without touching recency or
 // statistics.
 func (p *Pool[K, V]) Contains(key K) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, ok := p.items[key]
 	return ok
 }
@@ -77,6 +85,8 @@ func (p *Pool[K, V]) Contains(key K) bool {
 // Put inserts or refreshes key. When the pool is full the least recently
 // used entry is evicted.
 func (p *Pool[K, V]) Put(key K, val V) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.items[key]; ok {
 		p.ll.MoveToFront(el)
 		el.Value.(*lruEntry[K, V]).val = val
@@ -95,6 +105,8 @@ func (p *Pool[K, V]) Put(key K, val V) {
 
 // Remove drops key from the pool if present.
 func (p *Pool[K, V]) Remove(key K) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.items[key]; ok {
 		p.ll.Remove(el)
 		delete(p.items, key)
@@ -102,16 +114,26 @@ func (p *Pool[K, V]) Remove(key K) {
 }
 
 // Len returns the number of cached entries.
-func (p *Pool[K, V]) Len() int { return p.ll.Len() }
+func (p *Pool[K, V]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ll.Len()
+}
 
 // Capacity returns the configured maximum size.
 func (p *Pool[K, V]) Capacity() int { return p.capacity }
 
 // Stats returns a copy of the traffic counters.
-func (p *Pool[K, V]) Stats() Stats { return p.stats }
+func (p *Pool[K, V]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
 
 // Reset empties the pool and clears statistics.
 func (p *Pool[K, V]) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.ll.Init()
 	p.items = make(map[K]*list.Element)
 	p.stats = Stats{}

@@ -95,16 +95,26 @@ func (s *Sharded[K, V]) Remove(key K) {
 // admitted to the cache; a failed fetch is not, and the shared error is
 // returned to every waiter of that flight (later callers retry).
 func (s *Sharded[K, V]) GetOrFetch(key K, fetch func() (V, error)) (V, error) {
+	v, _, err := s.GetOrFetchHit(key, fetch)
+	return v, err
+}
+
+// GetOrFetchHit is GetOrFetch with cache-hit attribution: hit is true
+// when the value was served without running fetch in this call — a
+// resident entry, or the shared result of another caller's in-progress
+// flight. The engine's telemetry uses it to label per-fetch trace
+// events without a second cache probe.
+func (s *Sharded[K, V]) GetOrFetchHit(key K, fetch func() (V, error)) (v V, hit bool, err error) {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
 	if v, ok := sh.pool.Get(key); ok {
 		sh.mu.Unlock()
-		return v, nil
+		return v, true, nil
 	}
 	if f, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
 		<-f.done
-		return f.val, f.err
+		return f.val, true, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	sh.inflight[key] = f
@@ -119,7 +129,7 @@ func (s *Sharded[K, V]) GetOrFetch(key K, fetch func() (V, error)) (V, error) {
 	delete(sh.inflight, key)
 	sh.mu.Unlock()
 	close(f.done)
-	return f.val, f.err
+	return f.val, false, f.err
 }
 
 // Len returns the total number of cached entries across shards.

@@ -273,6 +273,11 @@ type EngineConfig = exec.Config
 // EngineStats are the engine's cumulative counters.
 type EngineStats = exec.Stats
 
+// EngineSnapshot is a diffable observability snapshot of the engine:
+// counters, cache traffic, per-disk gauges with the declustering
+// balance ratio, and wall-clock latency histograms (p50/p95/p99).
+type EngineSnapshot = exec.Snapshot
+
 // Engine is a real concurrent k-NN execution engine over an Index: one
 // worker goroutine per simulated disk serves page fetches, and many
 // client goroutines may query it at once. It contrasts with Simulate,
@@ -324,6 +329,17 @@ func (e *Engine) CacheStats() bufferpool.Stats { return e.eng.CacheStats() }
 
 // NumWorkers returns the number of disk worker goroutines.
 func (e *Engine) NumWorkers() int { return e.eng.NumWorkers() }
+
+// Snapshot captures the engine's observability state: cumulative
+// counters, per-disk serve gauges with the load-balance ratio, and
+// the latency histograms. Snapshots are diffable with Sub to profile
+// an interval.
+func (e *Engine) Snapshot() EngineSnapshot { return e.eng.Snapshot() }
+
+// PublishExpvar publishes the live engine snapshot as an expvar under
+// the given name, visible on /debug/vars (see obs.StartDebugServer).
+// Like expvar.Publish it must be called at most once per name.
+func (e *Engine) PublishExpvar(name string) { e.eng.PublishExpvar(name) }
 
 // Close stops the engine's workers; pending queries unwind first.
 func (e *Engine) Close() { e.eng.Close() }

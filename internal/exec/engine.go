@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bufferpool"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 	"repro/internal/parallel"
 	"repro/internal/query"
@@ -74,6 +76,21 @@ type Stats struct {
 	Cancelled    uint64 // queries aborted by context or Close
 	PagesFetched uint64 // page fetches served by disk workers
 	Decodes      uint64 // physical page decodes (cache misses when caching)
+	// FetchesCancelled counts fetch jobs a worker abandoned because
+	// the query's context was already cancelled — no page was decoded
+	// for them and they do not count as PagesFetched.
+	FetchesCancelled uint64
+}
+
+// Sub diffs two cumulative snapshots (s taken after prev).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Queries:          s.Queries - prev.Queries,
+		Cancelled:        s.Cancelled - prev.Cancelled,
+		PagesFetched:     s.PagesFetched - prev.PagesFetched,
+		Decodes:          s.Decodes - prev.Decodes,
+		FetchesCancelled: s.FetchesCancelled - prev.FetchesCancelled,
+	}
 }
 
 // diskStore is one disk's content: the encoded image of every page
@@ -99,16 +116,19 @@ func (s *diskStore) read(id rtree.PageID) (*rtree.Node, error) {
 
 // fetchJob asks a disk worker for one page of a stage batch.
 type fetchJob struct {
-	page rtree.PageID
-	idx  int // position in the stage's request slice
-	ctx  context.Context
-	out  chan<- fetchResult
+	page      rtree.PageID
+	idx       int // position in the stage's request slice
+	ctx       context.Context
+	out       chan<- fetchResult
+	submitted time.Time // when the job entered the disk queue
 }
 
 type fetchResult struct {
 	idx  int
 	node *rtree.Node
 	err  error
+	wall time.Duration // queue wait + service, worker-measured
+	hit  bool          // served by the shared decoded-page cache
 }
 
 // Engine executes k-NN queries concurrently against a shared parallel
@@ -129,10 +149,19 @@ type Engine struct {
 	active   sync.WaitGroup // running KNN calls
 	workers  sync.WaitGroup
 
-	queries      atomic.Uint64
-	cancelled    atomic.Uint64
-	pagesFetched atomic.Uint64
-	decodes      atomic.Uint64
+	queries          atomic.Uint64
+	cancelled        atomic.Uint64
+	pagesFetched     atomic.Uint64
+	decodes          atomic.Uint64
+	fetchesCancelled atomic.Uint64
+
+	// Observability: per-disk gauges and wall-clock latency
+	// histograms, always on (single atomic ops on the hot path).
+	gauges   []obs.DiskGauges
+	queryLat *obs.Histogram // successful KNN calls, end to end
+	fetchLat *obs.Histogram // per page fetch: queue wait + service
+	stageLat *obs.Histogram // per stage batch: submit to last arrival
+	semWait  *obs.Histogram // per stage: total in-flight-slot wait
 }
 
 // New builds an engine over a tree: every live page is encoded into its
@@ -145,12 +174,17 @@ func New(t *parallel.Tree, cfg Config) (*Engine, error) {
 		cfg.MaxInFlight = 4 * n * cfg.WorkersPerDisk
 	}
 	e := &Engine{
-		tree:   t,
-		cfg:    cfg,
-		stores: make([]*diskStore, n),
-		queues: make([]chan *fetchJob, n),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		closed: make(chan struct{}),
+		tree:     t,
+		cfg:      cfg,
+		stores:   make([]*diskStore, n),
+		queues:   make([]chan *fetchJob, n),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		closed:   make(chan struct{}),
+		gauges:   make([]obs.DiskGauges, n),
+		queryLat: obs.NewLatencyHistogram(),
+		fetchLat: obs.NewLatencyHistogram(),
+		stageLat: obs.NewLatencyHistogram(),
+		semWait:  obs.NewLatencyHistogram(),
 	}
 	tc := t.Config()
 	codec := pagestore.Codec{Dim: tc.Dim, PageSize: tc.PageSize, Spheres: tc.UseSpheres}
@@ -202,10 +236,11 @@ func (e *Engine) NumWorkers() int { return e.tree.NumDisks() * e.cfg.WorkersPerD
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Queries:      e.queries.Load(),
-		Cancelled:    e.cancelled.Load(),
-		PagesFetched: e.pagesFetched.Load(),
-		Decodes:      e.decodes.Load(),
+		Queries:          e.queries.Load(),
+		Cancelled:        e.cancelled.Load(),
+		PagesFetched:     e.pagesFetched.Load(),
+		Decodes:          e.decodes.Load(),
+		FetchesCancelled: e.fetchesCancelled.Load(),
 	}
 }
 
@@ -218,17 +253,29 @@ func (e *Engine) CacheStats() bufferpool.Stats {
 	return e.cache.Stats()
 }
 
-// worker serves one disk's fetch queue until Close drains it.
+// worker serves one disk's fetch queue until Close drains it. A job
+// whose context is already cancelled is abandoned without decoding its
+// page: the context error is delivered and the job counts under the
+// cancellation telemetry, not under PagesFetched.
 func (e *Engine) worker(d int) {
 	defer e.workers.Done()
 	st := e.stores[d]
+	g := &e.gauges[d]
 	for job := range e.queues[d] {
+		g.Queued.Add(-1)
 		res := fetchResult{idx: job.idx}
 		if err := job.ctx.Err(); err != nil {
 			res.err = err
+			g.Cancelled.Add(1)
+			e.fetchesCancelled.Add(1)
 		} else {
-			res.node, res.err = e.readPage(st, job.page)
+			g.InFlight.Add(1)
+			res.node, res.hit, res.err = e.readPage(st, job.page)
+			g.InFlight.Add(-1)
 			e.pagesFetched.Add(1)
+			g.Served.Add(1)
+			res.wall = time.Since(job.submitted)
+			e.fetchLat.Observe(res.wall.Seconds())
 		}
 		job.out <- res // buffered to batch size; never blocks
 		<-e.sem        // release the in-flight slot
@@ -236,13 +283,15 @@ func (e *Engine) worker(d int) {
 }
 
 // readPage resolves one page through the shared cache (singleflight
-// deduplicated) or straight from the disk store.
-func (e *Engine) readPage(st *diskStore, id rtree.PageID) (*rtree.Node, error) {
+// deduplicated) or straight from the disk store. hit reports whether
+// the page was served without a decode in this call.
+func (e *Engine) readPage(st *diskStore, id rtree.PageID) (*rtree.Node, bool, error) {
 	if e.cache == nil {
 		e.decodes.Add(1)
-		return st.read(id)
+		n, err := st.read(id)
+		return n, false, err
 	}
-	return e.cache.GetOrFetch(id, func() (*rtree.Node, error) {
+	return e.cache.GetOrFetchHit(id, func() (*rtree.Node, error) {
 		e.decodes.Add(1)
 		return st.read(id)
 	})
@@ -253,15 +302,21 @@ func (e *Engine) readPage(st *diskStore, id rtree.PageID) (*rtree.Node, error) {
 // and completions are collected asynchronously, then reordered to
 // request order — executions depend on request-order delivery for
 // deterministic tie-breaking, which is what makes engine results
-// identical to the sequential Driver's.
-func (e *Engine) fetchBatch(ctx context.Context, reqs []query.PageRequest) ([]*rtree.Node, error) {
+// identical to the sequential Driver's. With an observer attached the
+// stage emits SemWait, per-fetch FetchDone (request order, wall-clock
+// latency and cache attribution) and StageDone events.
+func (e *Engine) fetchBatch(ctx context.Context, stage int, reqs []query.PageRequest, obsv obs.QueryObserver) ([]*rtree.Node, error) {
+	start := time.Now()
 	out := make(chan fetchResult, len(reqs))
 	submitted := 0
+	var semWait time.Duration
 	var err error
 submit:
 	for i, r := range reqs {
+		acquire := time.Now()
 		select {
 		case e.sem <- struct{}{}:
+			semWait += time.Since(acquire)
 		case <-ctx.Done():
 			err = ctx.Err()
 			break submit
@@ -269,21 +324,25 @@ submit:
 			err = ErrClosed
 			break submit
 		}
-		job := &fetchJob{page: r.Page, idx: i, ctx: ctx, out: out}
+		job := &fetchJob{page: r.Page, idx: i, ctx: ctx, out: out, submitted: time.Now()}
+		e.gauges[r.Disk].Queued.Add(1)
 		select {
 		case e.queues[r.Disk] <- job:
 			submitted++
 		case <-ctx.Done():
+			e.gauges[r.Disk].Queued.Add(-1)
 			<-e.sem
 			err = ctx.Err()
 			break submit
 		case <-e.closed:
+			e.gauges[r.Disk].Queued.Add(-1)
 			<-e.sem
 			err = ErrClosed
 			break submit
 		}
 	}
-	nodes := make([]*rtree.Node, len(reqs))
+	e.semWait.Observe(semWait.Seconds())
+	results := make([]fetchResult, len(reqs))
 	for c := 0; c < submitted; c++ {
 		res := <-out
 		if res.err != nil {
@@ -292,10 +351,27 @@ submit:
 			}
 			continue
 		}
-		nodes[res.idx] = res.node
+		results[res.idx] = res
 	}
 	if err != nil {
 		return nil, err
+	}
+	wall := time.Since(start)
+	e.stageLat.Observe(wall.Seconds())
+	if obsv != nil {
+		obsv.Observe(obs.Event{Type: obs.SemWait, Stage: stage, Batch: len(reqs), Wall: semWait})
+		for i, r := range reqs {
+			obsv.Observe(obs.Event{
+				Type: obs.FetchDone, Stage: stage,
+				Page: int64(r.Page), Disk: r.Disk, Pages: r.Pages, Cached: r.Cached,
+				CacheHit: results[i].hit, Wall: results[i].wall,
+			})
+		}
+		obsv.Observe(obs.Event{Type: obs.StageDone, Stage: stage, Batch: len(reqs), Wall: wall})
+	}
+	nodes := make([]*rtree.Node, len(reqs))
+	for i := range results {
+		nodes[i] = results[i].node
 	}
 	return nodes, nil
 }
@@ -303,9 +379,11 @@ submit:
 // KNN answers one k-nearest-neighbor query. It is safe to call from
 // many goroutines concurrently; the query's page fetches execute on the
 // per-disk workers. The context cancels the query between (and during)
-// fetch stages. opts.SharedCache must be nil — the single-threaded
-// bufferpool.Pool is not safe under the engine; configure the engine's
-// own CachePages instead.
+// fetch stages. opts.SharedCache may be shared across concurrent
+// queries (bufferpool.Pool is internally locked); residency accounting
+// is admit-on-delivery, so a cancelled query never plants a page it did
+// not fetch. For a decoded-page cache prefer the engine's own
+// Config.CachePages, which also deduplicates concurrent fetches.
 func (e *Engine) KNN(ctx context.Context, alg query.Algorithm, q geom.Point, k int, opts query.Options) ([]query.Neighbor, *query.Stats, error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("exec: k must be positive, got %d", k)
@@ -313,23 +391,25 @@ func (e *Engine) KNN(ctx context.Context, alg query.Algorithm, q geom.Point, k i
 	if q.Dim() != e.tree.Config().Dim {
 		return nil, nil, fmt.Errorf("exec: query dim %d, tree dim %d", q.Dim(), e.tree.Config().Dim)
 	}
-	if opts.SharedCache != nil {
-		return nil, nil, errors.New("exec: Options.SharedCache is not concurrency-safe; use Config.CachePages")
-	}
 	if err := e.begin(); err != nil {
 		return nil, nil, err
 	}
 	defer e.active.Done()
 
+	start := time.Now()
+	stage := 0
 	ex := alg.NewExecution(e.tree, q, k, opts)
 	err := query.RunWith(ex, alg.Name(), func(reqs []query.PageRequest) ([]*rtree.Node, error) {
-		return e.fetchBatch(ctx, reqs)
+		nodes, err := e.fetchBatch(ctx, stage, reqs, opts.Observer)
+		stage++
+		return nodes, err
 	})
 	if err != nil {
 		e.cancelled.Add(1)
 		return nil, nil, err
 	}
 	e.queries.Add(1)
+	e.queryLat.Observe(time.Since(start).Seconds())
 	return ex.Results(), ex.Stats(), nil
 }
 

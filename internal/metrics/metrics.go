@@ -47,13 +47,19 @@ func StdDev(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between order statistics.
+// interpolation between order statistics. The input is copied, never
+// mutated.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -70,29 +76,24 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Summarize computes a full Summary of the sample.
+// Summarize computes a full Summary of the sample, sorting one private
+// copy and deriving Min/Max and both percentiles from it; the caller's
+// slice is left untouched.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
 		N:      len(xs),
 		Mean:   Mean(xs),
 		StdDev: StdDev(xs),
-		Min:    xs[0],
-		Max:    xs[0],
-		P50:    Percentile(xs, 50),
-		P95:    Percentile(xs, 95),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentileSorted(sorted, 50),
+		P95:    percentileSorted(sorted, 95),
 	}
-	for _, x := range xs {
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
-	}
-	return s
 }
 
 // Ratio returns a/b, guarding the b == 0 case with NaN (so downstream

@@ -66,6 +66,40 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeDoesNotMutate is the regression test for the
+// single-sort rewrite: Summarize must sort a private copy, never the
+// caller's slice.
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rnd.NormFloat64()
+	}
+	orig := append([]float64(nil), xs...)
+	s := Summarize(xs)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("Summarize reordered the input at %d", i)
+		}
+	}
+	// And the sorted-once derivation matches the reference helpers.
+	if s.P50 != Percentile(xs, 50) || s.P95 != Percentile(xs, 95) {
+		t.Errorf("percentiles diverge from Percentile: %+v", s)
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if s.Min != min || s.Max != max {
+		t.Errorf("min/max diverge: got %g/%g want %g/%g", s.Min, s.Max, min, max)
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(6, 3) != 2 {
 		t.Error("ratio wrong")

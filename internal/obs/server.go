@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartDebugServer serves expvar (/debug/vars) and net/http/pprof
+// (/debug/pprof/...) on addr in a background goroutine, returning once
+// the listener is bound so the caller can report the actual address
+// (use ":0" for an ephemeral port). The returned server's Close stops
+// it. A dedicated mux is used so importing this package never
+// publishes handlers on http.DefaultServeMux.
+func StartDebugServer(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve exits with ErrServerClosed on Close; nothing to do.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr(), nil
+}

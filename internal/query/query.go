@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/bufferpool"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rtree"
 )
@@ -119,6 +121,15 @@ type Options struct {
 	// algorithms their expansion decisions. For debugging and teaching;
 	// nil costs nothing.
 	Trace func(line string)
+	// Observer, when non-nil, receives the structured trace events of
+	// package obs: the algorithm emits the driver-independent core
+	// schema (QueryStart, StageIssue, FetchIssue, QueryEnd) and each
+	// driver adds its completions (FetchDone, StageDone) with its own
+	// clock — wall time under the immediate driver and the engine,
+	// virtual seconds under the simulator. Must be safe for concurrent
+	// use when one observer is shared across queries; nil costs
+	// nothing.
+	Observer obs.QueryObserver
 }
 
 // Algorithm builds executions; implementations are stateless and safe to
@@ -136,6 +147,18 @@ type base struct {
 	opts  Options
 	stats Stats
 	done  bool
+	// pendingAdmit holds pages requested from disk in the previous
+	// stage but not yet admitted to the shared cache, and
+	// stageRequested the current stage's disk requests. Admission
+	// happens on delivery (when the next stage runs), never at request
+	// time, so a fetch that fails or is cancelled mid-flight cannot
+	// leave a false residency behind.
+	pendingAdmit   []rtree.PageID
+	stageRequested []rtree.PageID
+	// stage numbers the fetch rounds for trace events; started flags
+	// the QueryStart emission.
+	stage      int
+	obsStarted bool
 }
 
 func newBase(t *parallel.Tree, q geom.Point, k int, opts Options) base {
@@ -158,9 +181,26 @@ func (b *base) tracef(format string, args ...interface{}) {
 	}
 }
 
+// admitDelivered moves the previous stage's fetched pages into the
+// shared cache. It runs once the pages are known to have arrived — the
+// first request() of the following stage, or finishStep on query
+// completion — so a failed or cancelled fetch never admits anything.
+func (b *base) admitDelivered() {
+	if len(b.pendingAdmit) == 0 {
+		return
+	}
+	if b.opts.SharedCache != nil {
+		for _, id := range b.pendingAdmit {
+			b.opts.SharedCache.Put(id, struct{}{})
+		}
+	}
+	b.pendingAdmit = b.pendingAdmit[:0]
+}
+
 // request builds a PageRequest for a page, honoring level caching, and
 // accounts for the upcoming visit.
 func (b *base) request(id rtree.PageID, level int) PageRequest {
+	b.admitDelivered()
 	pl, ok := b.tree.Placement(id)
 	if !ok {
 		panic(fmt.Sprintf("query: page %d unplaced", id))
@@ -170,9 +210,10 @@ func (b *base) request(id rtree.PageID, level int) PageRequest {
 		if _, hit := b.opts.SharedCache.Get(id); hit {
 			cached = true
 		} else {
-			// The page is about to be fetched; admit it so subsequent
-			// queries (and stages) find it resident.
-			b.opts.SharedCache.Put(id, struct{}{})
+			// The page will be admitted when its fetch delivers — see
+			// admitDelivered; admitting here would let a failed or
+			// cancelled fetch masquerade as resident to later queries.
+			b.stageRequested = append(b.stageRequested, id)
 		}
 	}
 	pages := b.tree.Store().Get(id).Pages(b.tree.Config().MaxEntries)
@@ -197,13 +238,43 @@ func (b *base) account(reqs []PageRequest) {
 	}
 }
 
-// finishStep tallies CPU cost for a stage and stamps the result.
+// finishStep tallies CPU cost for a stage, emits the stage's trace
+// events, rotates the cache-admission lists and stamps the result.
 func (b *base) finishStep(reqs []PageRequest, scanned, sorted int) StepResult {
 	b.stats.Scanned += scanned
 	b.stats.Sorted += sorted
 	inst := cpuCost(scanned, sorted)
 	b.stats.Instructions += inst
 	b.account(reqs)
+	if ob := b.opts.Observer; ob != nil {
+		if !b.obsStarted {
+			b.obsStarted = true
+			ob.Observe(obs.Event{Type: obs.QueryStart})
+		}
+		if len(reqs) > 0 {
+			ob.Observe(obs.Event{Type: obs.StageIssue, Stage: b.stage, Batch: len(reqs)})
+			for _, r := range reqs {
+				ob.Observe(obs.Event{
+					Type: obs.FetchIssue, Stage: b.stage,
+					Page: int64(r.Page), Disk: r.Disk, Pages: r.Pages, Cached: r.Cached,
+				})
+			}
+		}
+	}
+	if len(reqs) == 0 {
+		// Query complete: the final batch was delivered before this
+		// stage ran, so its pages may now enter the shared cache.
+		b.admitDelivered()
+		if ob := b.opts.Observer; ob != nil && b.done {
+			ob.Observe(obs.Event{Type: obs.QueryEnd, Stage: b.stage})
+		}
+	} else {
+		// This stage's disk requests become admissible once the next
+		// stage runs (pendingAdmit is empty here: either request()
+		// flushed it, or no pages were requested).
+		b.pendingAdmit, b.stageRequested = b.stageRequested, b.pendingAdmit[:0]
+		b.stage++
+	}
 	return StepResult{Requests: reqs, Instructions: inst}
 }
 
@@ -289,11 +360,27 @@ type Driver struct {
 func (d Driver) Run(alg Algorithm, q geom.Point, k int, opts Options) ([]Neighbor, *Stats) {
 	exec := alg.NewExecution(d.Tree, q, k, opts)
 	var delivered []*rtree.Node
+	stage := 0
 	_ = RunWith(exec, alg.Name(), func(reqs []PageRequest) ([]*rtree.Node, error) {
+		var start time.Time
+		if opts.Observer != nil {
+			start = time.Now()
+		}
 		delivered = delivered[:0]
 		for _, r := range reqs {
 			delivered = append(delivered, d.Tree.Store().Get(r.Page))
 		}
+		if ob := opts.Observer; ob != nil {
+			wall := time.Since(start)
+			for _, r := range reqs {
+				ob.Observe(obs.Event{
+					Type: obs.FetchDone, Stage: stage,
+					Page: int64(r.Page), Disk: r.Disk, Pages: r.Pages, Cached: r.Cached,
+				})
+			}
+			ob.Observe(obs.Event{Type: obs.StageDone, Stage: stage, Batch: len(reqs), Wall: wall})
+		}
+		stage++
 		return delivered, nil
 	})
 	return exec.Results(), exec.Stats()

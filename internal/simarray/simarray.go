@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/disk"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rtree"
@@ -248,6 +250,18 @@ type queryProc struct {
 	pending int
 	batch   []*rtree.Node
 	done    func()
+	// obsv receives FetchDone/StageDone events stamped with the
+	// virtual clock; stage and arrivals support request-order emission.
+	obsv     obs.QueryObserver
+	stage    int
+	arrivals []fetchArrival
+}
+
+// fetchArrival records one page's simulated completion for the trace.
+type fetchArrival struct {
+	req query.PageRequest
+	idx int
+	at  float64
 }
 
 // start begins the query at the current simulated time: the startup cost
@@ -280,12 +294,12 @@ func (p *queryProc) advance(delivered []*rtree.Node) {
 func (p *queryProc) issue(reqs []query.PageRequest) {
 	p.pending = len(reqs)
 	p.batch = p.batch[:0]
-	for _, r := range reqs {
-		r := r
+	for i, r := range reqs {
+		i, r := i, r
 		node := p.sys.tree.Store().Get(r.Page)
 		if r.Cached {
 			// Delivered from memory at this instant.
-			p.sys.sim.After(0, func() { p.deliver(node) })
+			p.sys.sim.After(0, func() { p.deliver(node, i, r) })
 			continue
 		}
 		m := p.sys.pickMirror(r.Disk, r.Cylinder)
@@ -298,18 +312,37 @@ func (p *queryProc) issue(reqs []query.PageRequest) {
 		}
 		p.sys.disks[r.Disk][m].Submit(svc, func(_, _ float64) {
 			p.sys.bus.Submit(p.sys.cfg.BusTime, func(_, _ float64) {
-				p.deliver(node)
+				p.deliver(node, i, r)
 			})
 		})
 	}
 }
 
-// deliver collects one page; when the whole stage has arrived the next
-// stage begins.
-func (p *queryProc) deliver(n *rtree.Node) {
+// deliver collects one page; when the whole stage has arrived its trace
+// events are emitted in request order and the next stage begins.
+func (p *queryProc) deliver(n *rtree.Node, idx int, r query.PageRequest) {
+	if p.obsv != nil {
+		p.arrivals = append(p.arrivals, fetchArrival{req: r, idx: idx, at: p.sys.sim.Now()})
+	}
 	p.batch = append(p.batch, n)
 	p.pending--
 	if p.pending == 0 {
+		if p.obsv != nil {
+			sort.Slice(p.arrivals, func(a, b int) bool { return p.arrivals[a].idx < p.arrivals[b].idx })
+			for _, ar := range p.arrivals {
+				p.obsv.Observe(obs.Event{
+					Type: obs.FetchDone, Stage: p.stage,
+					Page: int64(ar.req.Page), Disk: ar.req.Disk, Pages: ar.req.Pages,
+					Cached: ar.req.Cached, SimTime: ar.at,
+				})
+			}
+			p.obsv.Observe(obs.Event{
+				Type: obs.StageDone, Stage: p.stage,
+				Batch: len(p.arrivals), SimTime: p.sys.sim.Now(),
+			})
+			p.arrivals = p.arrivals[:0]
+		}
+		p.stage++
 		stage := make([]*rtree.Node, len(p.batch))
 		copy(stage, p.batch)
 		p.advance(stage)
@@ -346,6 +379,7 @@ func (s *System) Run(w Workload) (RunResult, error) {
 			sys:  s,
 			exec: w.Algorithm.NewExecution(s.tree, q, w.K, w.Options),
 			out:  &outcomes[i],
+			obsv: w.Options.Observer,
 		}
 	}
 

@@ -53,6 +53,10 @@ type (
 	EngineConfig = core.EngineConfig
 	// EngineStats are the engine's cumulative counters.
 	EngineStats = core.EngineStats
+	// EngineSnapshot is a diffable observability snapshot of the
+	// engine: counters, per-disk gauges with the declustering balance
+	// ratio, and latency histograms — see Engine.Snapshot.
+	EngineSnapshot = core.EngineSnapshot
 )
 
 // NewIndex creates an empty disk-array similarity index.
