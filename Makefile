@@ -2,15 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench full
+# Pinned analysis-tool versions — CI runs these targets, so the Makefile
+# is the single source of truth for both.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-all: build vet test
+# Duration per fuzz target in the `fuzz` smoke target.
+FUZZTIME ?= 30s
+
+.PHONY: all build vet analyze test race lint bench fuzz full
+
+all: build vet analyze test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## analyze: the repo-specific analyzer suite (internal/lint) run through
+## the `go vet -vettool` protocol, exactly as CI runs it.
+analyze:
+	$(GO) build -o bin/simquerylint ./cmd/simquerylint
+	$(GO) vet -vettool=$(abspath bin/simquerylint) ./...
 
 ## test: the CI test job (short mode — slow simulations skipped).
 test:
@@ -20,22 +34,38 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-## lint: gofmt cleanliness + staticcheck (installed on demand).
+## lint: gofmt cleanliness + pinned staticcheck (installed on demand).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	@command -v staticcheck >/dev/null 2>&1 || \
-		$(GO) install honnef.co/go/tools/cmd/staticcheck@latest
+		$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	staticcheck ./...
 
 ## bench: benchmark smoke — every benchmark once (the nightly job).
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+## fuzz: run each fuzz target for FUZZTIME (committed seed corpora under
+## testdata/fuzz already run during plain `go test`).
+fuzz:
+	$(GO) test -fuzz=FuzzPageCodec -fuzztime=$(FUZZTIME) ./internal/pagestore/
+	$(GO) test -fuzz=FuzzGeomMetrics -fuzztime=$(FUZZTIME) ./internal/geom/
+	$(GO) test -fuzz=FuzzRTreeOps -fuzztime=$(FUZZTIME) ./internal/rtree/
+
 ## full: everything the manually-dispatched nightly job runs.
+## govulncheck needs network access to the vuln DB, so it is skipped
+## (with a notice) when the pinned binary cannot be installed.
 full:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(GO) test -bench=. -benchtime=1x ./...
 	OBS_OVERHEAD=1 $(GO) test -run TestObservedOverhead -v .
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput/engine-workers=10x2$$|BenchmarkEngineObserved' -benchtime 2s .
+	$(MAKE) fuzz FUZZTIME=10s
+	@if command -v govulncheck >/dev/null 2>&1 || \
+		$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION); then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck unavailable (offline?); skipping"; \
+	fi

@@ -1,0 +1,15 @@
+// Command simquerylint is the repo's custom static-analysis suite,
+// packaged as a `go vet` tool (the unitchecker protocol). Run it as
+//
+//	go build -o bin/simquerylint ./cmd/simquerylint
+//	go vet -vettool=$(pwd)/bin/simquerylint ./...
+//
+// or simply `make analyze`. See internal/lint for the analyzers:
+// simdeterminism, floatcmp, lockcheck and statscomplete.
+package main
+
+import "repro/internal/lint"
+
+func main() {
+	lint.Vettool(lint.All())
+}

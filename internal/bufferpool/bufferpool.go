@@ -36,9 +36,9 @@ func (s Stats) HitRate() float64 {
 type Pool[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List
-	items    map[K]*list.Element
-	stats    Stats
+	ll       *list.List          // guarded by mu
+	items    map[K]*list.Element // guarded by mu
+	stats    Stats               // guarded by mu
 }
 
 type lruEntry[K comparable, V any] struct {

@@ -23,7 +23,7 @@ type Sharded[K comparable, V any] struct {
 type shard[K comparable, V any] struct {
 	mu       sync.Mutex
 	pool     *Pool[K, V]
-	inflight map[K]*flight[V]
+	inflight map[K]*flight[V] // guarded by mu
 }
 
 // flight is one in-progress fetch; waiters block on done.

@@ -144,7 +144,7 @@ type Engine struct {
 	cache  *bufferpool.Sharded[rtree.PageID, *rtree.Node]
 
 	mu       sync.Mutex
-	isClosed bool
+	isClosed bool           // guarded by mu
 	closed   chan struct{}  // signals Close to blocked submitters
 	active   sync.WaitGroup // running KNN calls
 	workers  sync.WaitGroup

@@ -253,8 +253,6 @@ func MinMaxDistSq(p Point, r Rect) float64 {
 	if n == 0 {
 		return 0
 	}
-	// S = Σ_j |p_j - rM_j|² with rM_j the farther corner coordinate.
-	var total float64
 	far := make([]float64, n)  // |p_j - rM_j|²
 	near := make([]float64, n) // |p_k - rm_k|²
 	for j := 0; j < n; j++ {
@@ -274,11 +272,24 @@ func MinMaxDistSq(p Point, r Rect) float64 {
 		df := p[j] - rM
 		near[j] = dn * dn
 		far[j] = df * df
-		total += far[j]
 	}
+	// Each candidate is summed from scratch rather than as
+	// total - far[k] + near[k]: the subtraction form loses tiny terms to
+	// absorption and can return a Dmm below Dmin, breaking the
+	// pessimistic-bound guarantee the pruning rules rely on. Summing
+	// nonnegative terms in fixed axis order keeps Dmin ≤ Dmm ≤ Dmax
+	// exact in floating point, because each Dmm term dominates the
+	// matching Dmin term and is dominated by the matching Dmax term.
 	best := math.Inf(1)
 	for k := 0; k < n; k++ {
-		v := total - far[k] + near[k]
+		var v float64
+		for j := 0; j < n; j++ {
+			if j == k {
+				v += near[j]
+			} else {
+				v += far[j]
+			}
+		}
 		if v < best {
 			best = v
 		}

@@ -1,0 +1,234 @@
+// Package lint is a repo-specific static-analysis suite guarding the
+// invariants this reproduction depends on: bit-identical results across
+// the immediate driver, the event-driven simulator and the concurrent
+// engine (determinism), exact float comparison discipline, documented
+// mutex protection, and telemetry snapshot completeness.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built on the standard library only — the build
+// environment is offline, so x/tools cannot be vendored. Analyzers run
+// in two drivers: the unitchecker-protocol vettool (cmd/simquerylint via
+// `go vet -vettool=...`, see vettool.go) and the source-importer loader
+// used by the golden tests (source.go).
+//
+// # Suppressions
+//
+// A finding that is intentional is silenced in place with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; a directive without one is itself reported. Suppressions
+// are deliberately loud in review — they are the documented escape
+// hatch, not a default.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in //lint:allow
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The analyzers
+// enforce production-path invariants; tests legitimately measure wall
+// time, shuffle with the global source, and compare floats exactly.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SimDeterminism,
+		FloatCmp,
+		LockCheck,
+		StatsComplete,
+	}
+}
+
+// Package bundles one loaded, type-checked package for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// RunAnalyzers executes the analyzers over pkg and returns the
+// surviving diagnostics, position-sorted, with //lint:allow
+// suppressions applied. Malformed directives (missing reason, unknown
+// format) are returned as diagnostics of the pseudo-analyzer "lint".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	allows, malformed := collectAllows(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.covers(pkg.Fset.Position(d.Pos), d.Analyzer) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// allowSet indexes //lint:allow directives by file and line.
+type allowSet map[string]map[int][]string // filename -> line -> analyzer names
+
+func (s allowSet) covers(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line (trailing
+	// comment) and on the line below it (comment above the statement).
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//lint:allow"
+
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lint",
+						Message:  "malformed //lint:allow directive: want \"//lint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				if set[p.Filename] == nil {
+					set[p.Filename] = map[int][]string{}
+				}
+				set[p.Filename][p.Line] = append(set[p.Filename][p.Line], fields[0])
+			}
+		}
+	}
+	return set, malformed
+}
+
+// normalizePkgPath strips the test-variant suffix cmd/go appends when
+// vetting a package's test unit ("repro/internal/query
+// [repro/internal/query.test]"), so path-scoped analyzers recognize the
+// package either way.
+func normalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// callee resolves the *types.Func a call invokes, or nil for builtins,
+// type conversions and indirect calls through function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// exprString renders the stable "root path" of an expression for
+// matching lock receivers: identifiers and field selections print as
+// written; anything more dynamic (calls, indexing) collapses to "".
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprString(e.X)
+	}
+	return ""
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

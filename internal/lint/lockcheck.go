@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockCheck enforces documented mutex protection: a struct field whose
+// doc or line comment says "guarded by <mu>" may only be read or
+// written inside a function that visibly acquires <mu> on the same
+// receiver path (x.mu.Lock() or x.mu.RLock()). This is the bug class
+// fixed by hand in PR 2, where bufferpool residency accounting was
+// mutated off-lock by a cancelled query.
+//
+// The check is syntactic and per-function: it does not prove the lock
+// is held at the access (no flow analysis), it proves the function at
+// least participates in the locking discipline. Helpers that rely on a
+// caller-held lock document that with //lint:allow lockcheck.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "accesses to struct fields documented as \"guarded by <mu>\" must " +
+		"occur in functions that acquire <mu> on the same receiver",
+	Run: runLockCheck,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotated field and the mutex field name
+// that protects it.
+type guardedField struct {
+	structName string
+	mutex      string
+}
+
+func runLockCheck(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedAccesses(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields finds "guarded by <mu>" field annotations and
+// resolves them to type objects. A named mutex that is not a field of
+// the same struct is reported as a broken annotation.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	guarded := map[*types.Var]guardedField{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mutex := guardAnnotation(fld)
+				if mutex == "" {
+					continue
+				}
+				if !fieldNames[mutex] {
+					pass.Reportf(fld.Pos(),
+						"field is annotated \"guarded by %s\" but %s has no field %s",
+						mutex, ts.Name.Name, mutex)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[obj] = guardedField{structName: ts.Name.Name, mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or returns "".
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkLockedAccesses verifies every guarded-field access in fd against
+// the set of "<root>.<mu>" paths the function locks anywhere in its
+// body (including inside closures — the granularity is the outermost
+// declared function).
+func checkLockedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardedField) {
+	locked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if path := exprString(sel.X); path != "" {
+			locked[path] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldObj, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		// Map instantiated-generic field objects back to the generic
+		// declaration collectGuardedFields saw.
+		fieldObj = fieldObj.Origin()
+		g, ok := guarded[fieldObj]
+		if !ok {
+			return true
+		}
+		root := exprString(sel.X)
+		if root != "" && locked[root+"."+g.mutex] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"access to %s.%s (guarded by %s) in a function that never acquires "+
+				"%s.%s; lock it, or //lint:allow lockcheck with the reason the "+
+				"caller holds the lock",
+			g.structName, fieldObj.Name(), g.mutex, root, g.mutex)
+		return true
+	})
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatsComplete keeps telemetry snapshots honest: in functions named
+// Snapshot, Stats or Sub that return a struct defined in the same
+// package via a keyed composite literal, every exported field of that
+// struct must be populated — either as a literal key or by a later
+// assignment through a value of the struct type. Additionally, a
+// Snapshot method must read every exported field of its receiver, so a
+// new gauge cannot be added without being exported into the snapshot.
+//
+// Adding a counter to exec.Stats or a gauge to obs.DiskGauges and
+// forgetting it in Stats()/Snapshot()/Sub() compiles fine and silently
+// reports zeros forever; this analyzer turns that drift into a CI
+// failure.
+var StatsComplete = &Analyzer{
+	Name: "statscomplete",
+	Doc: "Snapshot/Stats/Sub functions returning a keyed struct literal must " +
+		"populate every exported field, and Snapshot must read every exported " +
+		"receiver field — telemetry cannot silently drop a counter",
+	Run: runStatsComplete,
+}
+
+var statsFuncNames = map[string]bool{"Snapshot": true, "Stats": true, "Sub": true}
+
+func runStatsComplete(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !statsFuncNames[fd.Name.Name] {
+				continue
+			}
+			checkStatsFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkStatsFunc(pass *Pass, fd *ast.FuncDecl) {
+	resType := singleStructResult(pass, fd)
+	if resType == nil {
+		return
+	}
+	st := resType.Underlying().(*types.Struct)
+
+	// Fields covered by keyed composite literals of the result type and
+	// by any selector on a value of the result type (later assignments,
+	// accumulation loops, reads of the same-typed operand in Sub).
+	covered := map[string]bool{}
+	var firstLit *ast.CompositeLit
+	sawLiteral := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil || !sameNamed(t, resType) {
+				return true
+			}
+			if len(n.Elts) > 0 {
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+					// Positional literal: the compiler already enforces
+					// completeness.
+					return true
+				}
+			}
+			sawLiteral = true
+			if firstLit == nil {
+				firstLit = n
+			}
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						covered[id.Name] = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if sameNamed(t, resType) {
+				covered[n.Sel.Name] = true
+			}
+		}
+		return true
+	})
+
+	if sawLiteral {
+		var missing []string
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Exported() && !covered[f.Name()] {
+				missing = append(missing, f.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(firstLit.Pos(),
+				"%s returns %s without populating exported field(s) %s; every "+
+					"exported field must appear in the literal or be assigned in "+
+					"this function",
+				fd.Name.Name, resType.Obj().Name(), strings.Join(missing, ", "))
+		}
+	}
+
+	if fd.Name.Name == "Snapshot" {
+		checkReceiverRead(pass, fd)
+	}
+}
+
+// checkReceiverRead verifies a Snapshot method reads every exported
+// field of its receiver struct.
+func checkReceiverRead(pass *Pass, fd *ast.FuncDecl) {
+	recvType := receiverNamedStruct(pass, fd)
+	if recvType == nil {
+		return
+	}
+	st := recvType.Underlying().(*types.Struct)
+	read := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if sameNamed(t, recvType) {
+			read[sel.Sel.Name] = true
+		}
+		return true
+	})
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Exported() && !read[f.Name()] {
+			missing = append(missing, f.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(fd.Name.Pos(),
+			"Snapshot never reads exported receiver field(s) %s of %s; the "+
+				"snapshot silently drops them",
+			strings.Join(missing, ", "), recvType.Obj().Name())
+	}
+}
+
+// singleStructResult returns the named struct type (defined in the
+// package under analysis) that fd returns, or nil when fd does not
+// return exactly one such value.
+func singleStructResult(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 ||
+		len(fd.Type.Results.List[0].Names) > 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Type.Results.List[0].Type)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return nil
+	}
+	return named
+}
+
+// receiverNamedStruct resolves fd's receiver to a named struct type
+// with at least one exported field, or nil.
+func receiverNamedStruct(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// sameNamed reports whether t is the named type target (ignoring
+// pointers was handled by callers).
+func sameNamed(t types.Type, target *types.Named) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == target.Obj()
+}

@@ -1,0 +1,50 @@
+// Package floatcmp is golden-test input: positive and negative cases
+// for the floatcmp analyzer.
+package floatcmp
+
+type distance float64
+
+func exactEquality(a, b float64) bool {
+	return a == b // want "exact == comparison of floating-point values"
+}
+
+func exactInequality(a, b float32) bool {
+	return a != b // want "exact != comparison of floating-point values"
+}
+
+func namedFloatType(a, b distance) bool {
+	return a == b // want "exact == comparison of floating-point values"
+}
+
+func constantZeroIsFine(rate float64) bool {
+	return rate == 0 // the zero-value config idiom
+}
+
+func constantSentinelIsFine(v float64) bool {
+	return v != 1.5
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+// Equal is the approved exact-comparison helper shape; its body is
+// exempt by name.
+func Equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func suppressedTieBreak(a, b float64) bool {
+	if a != b { //lint:allow floatcmp deliberate exact tie-break for canonical ordering
+		return a < b
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+// Package lockcheck is golden-test input: positive and negative cases
+// for the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+// counter is the annotated shape the analyzer enforces.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) incLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) badInc() {
+	c.n++ // want "guarded by mu"
+}
+
+func (c *counter) nLocked() int {
+	//lint:allow lockcheck caller holds c.mu (see incLocked)
+	return c.n
+}
+
+// rwStats exercises the RLock path and multi-field annotations.
+type rwStats struct {
+	mu         sync.RWMutex
+	hits, miss int // guarded by mu
+	capacity   int // immutable after construction; unannotated
+}
+
+func (s *rwStats) total() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits + s.miss
+}
+
+func (s *rwStats) badRead() int {
+	return s.hits // want "guarded by mu"
+}
+
+func (s *rwStats) capOK() int {
+	return s.capacity
+}
+
+func freeFuncLocked(s *rwStats) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.miss
+}
+
+func freeFuncBad(s *rwStats) int {
+	return s.miss // want "guarded by mu"
+}
+
+// broken has an annotation naming a mutex that does not exist.
+type broken struct {
+	val int // guarded by lock // want "has no field lock"
+}
+
+func constructorIsFine() *counter {
+	return &counter{}
+}
+
+// cache pins generic-struct handling: instantiated field accesses must
+// resolve back to the annotated generic declaration.
+type cache[K comparable] struct {
+	mu    sync.Mutex
+	items map[K]int // guarded by mu
+}
+
+func (c *cache[K]) get(k K) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[k]
+}
+
+func (c *cache[K]) badGet(k K) int {
+	return c.items[k] // want "guarded by mu"
+}
+
+func keyedLiteralIsFine() *cache[int] {
+	return &cache[int]{items: map[int]int{}}
+}

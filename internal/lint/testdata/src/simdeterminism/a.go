@@ -1,0 +1,94 @@
+// Package simdeterminism is golden-test input: positive and negative
+// cases for the simdeterminism analyzer.
+package simdeterminism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func wallClockSince() time.Duration {
+	var t0 time.Time
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func pureTimeIsFine() time.Time {
+	return time.Date(1998, time.June, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want "global random source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global random source"
+}
+
+func seededRandIsFine(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func suppressedWallClock() time.Time {
+	//lint:allow simdeterminism observer wall-clock only, never in results
+	return time.Now()
+}
+
+func mapRangeOrdered(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "range over map feeds ordered output"
+		out = append(out, v)
+	}
+	return out
+}
+
+func mapRangeSend(m map[int]string, ch chan string) {
+	for _, v := range m { // want "range over map feeds ordered output"
+		ch <- v
+	}
+}
+
+func mapRangeAggregateIsFine(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapRangeSortedIsFine(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+type trace struct{ reads []int }
+
+func mapRangeSortedFieldIsFine(t *trace, m map[int]int) {
+	for k := range m {
+		t.reads = append(t.reads, k)
+	}
+	sort.Slice(t.reads, func(i, j int) bool { return t.reads[i] < t.reads[j] })
+}
+
+func mapRangeInnerSliceIsFine(m map[int]string) int {
+	n := 0
+	for _, v := range m {
+		var parts []byte
+		parts = append(parts, v...)
+		n += len(parts)
+	}
+	return n
+}

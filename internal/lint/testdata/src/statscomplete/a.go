@@ -1,0 +1,76 @@
+// Package statscomplete is golden-test input: positive and negative
+// cases for the statscomplete analyzer.
+package statscomplete
+
+// Counters is a telemetry source with exported gauge fields.
+type Counters struct {
+	Hits   int
+	Misses int
+}
+
+// View is the snapshot shape the functions below build.
+type View struct {
+	Hits   int
+	Misses int
+	Ratio  float64
+}
+
+func (c *Counters) Snapshot() View {
+	return View{ // want "without populating exported field\(s\) Ratio"
+		Hits:   c.Hits,
+		Misses: c.Misses,
+	}
+}
+
+type full struct{ c Counters }
+
+// Snapshot covering every field via literal keys plus a later
+// assignment is clean.
+func (f *full) Snapshot() View {
+	v := View{Hits: f.c.Hits, Misses: f.c.Misses}
+	v.Ratio = float64(v.Hits) / float64(v.Hits+v.Misses+1)
+	return v
+}
+
+// Sub with a complete keyed literal is clean; reading the same-typed
+// operand also counts as coverage.
+func (v View) Sub(prev View) View {
+	return View{
+		Hits:   v.Hits - prev.Hits,
+		Misses: v.Misses - prev.Misses,
+		Ratio:  v.Ratio,
+	}
+}
+
+type gauges struct {
+	Queued int
+	Served int
+}
+
+type gaugeView struct {
+	Queued int
+}
+
+// Snapshot must read every exported receiver field: Served is dropped.
+func (g *gauges) Snapshot() gaugeView { // want "never reads exported receiver field\(s\) Served"
+	return gaugeView{Queued: g.Queued}
+}
+
+// Stats returning a stored value (no literal) is out of scope.
+type holder struct{ v View }
+
+func (h *holder) Stats() View {
+	return h.v
+}
+
+// Positional literals are compiler-enforced already.
+func makeView() View {
+	return View{1, 2, 3}
+}
+
+// Unexported-field-only structs and non-snapshot names are ignored.
+type internalOnly struct{ a, b int }
+
+func Build() internalOnly {
+	return internalOnly{a: 1}
+}

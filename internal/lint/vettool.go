@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the cmd/go vettool ("unitchecker") protocol with
+// the standard library only, standing in for
+// golang.org/x/tools/go/analysis/unitchecker (unavailable offline).
+// cmd/go drives the tool in three modes:
+//
+//	tool -V=full          print an identity line for the build cache
+//	tool -flags           print the tool's flags as JSON
+//	tool [flags] vet.cfg  analyze one package unit described by vet.cfg
+//
+// In the last mode cmd/go has already compiled the package's
+// dependencies; vet.cfg maps each import path to an export-data file,
+// which the gc importer reads through a lookup function, so no network
+// or GOPATH access is needed. Diagnostics go to stderr as
+// "file:line:col: message" and a nonzero exit marks the package failed,
+// which `go vet` relays to the user.
+
+// vetConfig mirrors the fields of cmd/go's vet.cfg JSON that this
+// driver consumes; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Vettool is the entry point of cmd/simquerylint: it dispatches on the
+// protocol modes above and exits the process with the appropriate
+// status (0 clean, 1 findings or failure).
+func Vettool(analyzers []*Analyzer) {
+	progname := os.Args[0]
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		printVersion(progname)
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlagsJSON()
+		return
+	}
+	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		fmt.Fprintf(os.Stderr,
+			"usage: %s vet.cfg\n\nsimquerylint is a go vet tool; run it via\n"+
+				"  go vet -vettool=%s ./...\nor `make analyze`.\nAnalyzers:\n",
+			progname, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(2)
+	}
+	diags, err := runUnit(args[len(args)-1], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simquerylint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags.list) > 0 {
+		for _, d := range diags.list {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", diags.fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the `-V=full` identity line cmd/go hashes for its
+// build cache: "<progname> version devel ... buildID=<content hash>".
+// The hash is over the executable itself, so rebuilding the tool
+// invalidates cached vet results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// printFlagsJSON describes the tool's flags to `go vet`'s flag parser.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, _ := json.MarshalIndent(flags, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+type unitDiags struct {
+	fset *token.FileSet
+	list []Diagnostic
+}
+
+// runUnit analyzes the package unit described by cfgFile.
+func runUnit(cfgFile string, analyzers []*Analyzer) (unitDiags, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return unitDiags{}, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return unitDiags{}, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// The facts ("vetx") output must exist for cmd/go's caching even
+	// though these analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return unitDiags{}, err
+		}
+	}
+	if cfg.VetxOnly {
+		return unitDiags{}, nil
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return unitDiags{}, fmt.Errorf("unsupported compiler %q", cfg.Compiler)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return unitDiags{}, nil
+			}
+			return unitDiags{}, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the export data cmd/go compiled for this
+	// unit: ImportMap canonicalizes source spellings (vendoring),
+	// PackageFile locates each dependency's export data.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect via returned error; keep going
+	}
+	info := newTypesInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return unitDiags{}, nil
+		}
+		return unitDiags{}, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := RunAnalyzers(&Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		return unitDiags{}, err
+	}
+	return unitDiags{fset: fset, list: diags}, nil
+}

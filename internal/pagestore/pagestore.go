@@ -149,6 +149,10 @@ func (c Codec) Decode(buf []byte) (*rtree.Node, error) {
 	if count > c.Capacity() {
 		return nil, fmt.Errorf("pagestore: entry count %d exceeds capacity %d", count, c.Capacity())
 	}
+	if need := headerSize + count*c.EntrySize(); len(buf) < need {
+		return nil, fmt.Errorf("pagestore: page truncated: %d bytes, need %d for %d entries",
+			len(buf), need, count)
+	}
 	n := &rtree.Node{
 		ID:      rtree.PageID(binary.LittleEndian.Uint64(buf[8:])),
 		Level:   level,
@@ -204,12 +208,12 @@ func (c Codec) Decode(buf []byte) (*rtree.Node, error) {
 type PagedStore struct {
 	mu     sync.RWMutex
 	codec  Codec
-	nodes  map[rtree.PageID]*rtree.Node
-	pages  map[rtree.PageID][]byte
-	nextID rtree.PageID
+	nodes  map[rtree.PageID]*rtree.Node // guarded by mu
+	pages  map[rtree.PageID][]byte      // guarded by mu
+	nextID rtree.PageID                 // guarded by mu
 
-	encodes uint64 // write-backs performed
-	bytes   int    // total encoded bytes held
+	encodes uint64 // write-backs performed; guarded by mu
+	bytes   int    // total encoded bytes held; guarded by mu
 }
 
 // NewPagedStore creates a store for pages of the given size and

@@ -40,6 +40,7 @@ type bfssHeap []bfssItem
 
 func (h bfssHeap) Len() int { return len(h) }
 func (h bfssHeap) Less(i, j int) bool {
+	//lint:allow floatcmp exact-equal distances deliberately fall through to the page-ID tie-break
 	if h[i].distSq != h[j].distSq {
 		return h[i].distSq < h[j].distSq
 	}

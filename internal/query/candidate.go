@@ -91,6 +91,7 @@ func lemma1BoundSq(cands []candidate, k int) float64 {
 // for determinism).
 func sortByDmin(cands []candidate) {
 	sort.Slice(cands, func(i, j int) bool {
+		//lint:allow floatcmp exact-equal Dmin deliberately falls through to the child-ID tie-break
 		if cands[i].dminSq != cands[j].dminSq {
 			return cands[i].dminSq < cands[j].dminSq
 		}

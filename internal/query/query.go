@@ -364,6 +364,7 @@ func (d Driver) Run(alg Algorithm, q geom.Point, k int, opts Options) ([]Neighbo
 	_ = RunWith(exec, alg.Name(), func(reqs []PageRequest) ([]*rtree.Node, error) {
 		var start time.Time
 		if opts.Observer != nil {
+			//lint:allow simdeterminism observer wall-clock latency only, never feeds results
 			start = time.Now()
 		}
 		delivered = delivered[:0]
@@ -371,6 +372,7 @@ func (d Driver) Run(alg Algorithm, q geom.Point, k int, opts Options) ([]Neighbo
 			delivered = append(delivered, d.Tree.Store().Get(r.Page))
 		}
 		if ob := opts.Observer; ob != nil {
+			//lint:allow simdeterminism observer wall-clock latency only, never feeds results
 			wall := time.Since(start)
 			for _, r := range reqs {
 				ob.Observe(obs.Event{
@@ -390,6 +392,7 @@ func (d Driver) Run(alg Algorithm, q geom.Point, k int, opts Options) ([]Neighbo
 // result order used across algorithms so outputs are comparable.
 func sortNeighbors(ns []Neighbor) {
 	sort.Slice(ns, func(i, j int) bool {
+		//lint:allow floatcmp exact-equal distances deliberately fall through to the object-ID tie-break
 		if ns[i].DistSq != ns[j].DistSq {
 			return ns[i].DistSq < ns[j].DistSq
 		}

@@ -1,0 +1,134 @@
+package rtree
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzRTreeOps drives a tree through a byte-coded op sequence (insert,
+// delete, k-NN) alongside a plain map model, checking after every
+// structural change that CheckInvariants passes, that the tree and the
+// model agree on cardinality, and that NearestNeighbors returns exactly
+// the model's k smallest distances. Coordinates come from a small
+// integer grid so duplicate points and distance ties are common — the
+// comparison is on sorted distance multisets, not object order, which
+// ties legitimately permute.
+func FuzzRTreeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 3, 4, 0, 5, 6, 2, 0, 3, 0, 1, 1, 7}, byte(2), byte(0))
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 4, 0, 5, 5, 3, 2, 2, 8}, byte(1), byte(1))
+	f.Add([]byte{2, 0, 2, 1}, byte(3), byte(2)) // deletes on an empty tree
+	f.Fuzz(func(t *testing.T, ops []byte, dimByte, cfgByte byte) {
+		dim := 1 + int(dimByte)%3
+		cfg := Config{Dim: dim, MaxEntries: 4 + int(cfgByte)%5}
+		if cfgByte&0x20 != 0 {
+			cfg.UseSpheres = true
+		}
+		tr, err := New(cfg, nil)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+
+		model := map[ObjectID]geom.Point{}
+		var live []ObjectID // insertion-ordered live IDs, for delete picks
+		nextObj := ObjectID(1)
+
+		pos := 0
+		next := func() byte {
+			if pos >= len(ops) {
+				return 0
+			}
+			b := ops[pos]
+			pos++
+			return b
+		}
+		point := func() geom.Point {
+			p := make(geom.Point, dim)
+			for d := range p {
+				p[d] = float64(next() % 16)
+			}
+			return p
+		}
+		structural := 0
+		for pos < len(ops) && structural < 512 {
+			switch next() % 4 {
+			case 0, 1: // insert
+				p := point()
+				id := nextObj
+				nextObj++
+				if err := tr.InsertPoint(p, id); err != nil {
+					t.Fatalf("InsertPoint(%v, %d): %v", p, id, err)
+				}
+				model[id] = p
+				live = append(live, id)
+				structural++
+			case 2: // delete (a live object, or a guaranteed miss)
+				sel := int(next())
+				if len(live) == 0 || sel%4 == 3 {
+					if tr.DeletePoint(point(), nextObj) {
+						t.Fatalf("DeletePoint reported success for never-inserted object %d", nextObj)
+					}
+					continue
+				}
+				i := sel % len(live)
+				id := live[i]
+				if !tr.DeletePoint(model[id], id) {
+					t.Fatalf("DeletePoint(%v, %d) failed for a live object", model[id], id)
+				}
+				delete(model, id)
+				live = append(live[:i], live[i+1:]...)
+				structural++
+			case 3: // k-NN against the model
+				q := point()
+				k := 1 + int(next())%6
+				checkKNN(t, tr, model, q, k)
+				continue
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("invariants violated after op %d: %v", structural, err)
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("tree size %d, model size %d", tr.Len(), len(model))
+			}
+		}
+
+		// Closing sweep: full-cardinality k-NN from the origin.
+		checkKNN(t, tr, model, make(geom.Point, dim), len(model)+1)
+	})
+}
+
+// checkKNN compares NearestNeighbors against brute force over the
+// model. Ties make object order unspecified, so it compares the sorted
+// squared-distance sequences, which are exact: the tree computes leaf
+// distances with MinDistSq over degenerate rectangles, term-for-term
+// the same arithmetic as Point.DistSq.
+func checkKNN(t *testing.T, tr *Tree, model map[ObjectID]geom.Point, q geom.Point, k int) {
+	t.Helper()
+	got, _ := tr.NearestNeighbors(q, k)
+	want := make([]float64, 0, len(model))
+	for _, p := range model {
+		want = append(want, q.DistSq(p))
+	}
+	sort.Float64s(want)
+	if k < len(want) {
+		want = want[:k]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("k-NN(q=%v, k=%d) returned %d results, want %d", q, k, len(got), len(want))
+	}
+	for i, n := range got {
+		if i > 0 && got[i-1].DistSq > n.DistSq {
+			t.Fatalf("k-NN results not sorted: DistSq[%d]=%g > DistSq[%d]=%g",
+				i-1, got[i-1].DistSq, i, n.DistSq)
+		}
+		if n.DistSq != want[i] {
+			t.Fatalf("k-NN distance %d: got %g, want %g (q=%v)", i, n.DistSq, want[i], q)
+		}
+		if p, ok := model[n.Object]; !ok {
+			t.Fatalf("k-NN returned unknown object %d", n.Object)
+		} else if d := q.DistSq(p); d != n.DistSq {
+			t.Fatalf("k-NN object %d reported DistSq %g, actual %g", n.Object, n.DistSq, d)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package rtree
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/geom"
 )
@@ -230,11 +231,12 @@ func (s *MemStore) Inject(n *Node) {
 // SetNextID sets the allocation cursor (snapshot restore only).
 func (s *MemStore) SetNextID(id PageID) { s.nextID = id }
 
-// IDs returns all live page IDs (test helper; order unspecified).
+// IDs returns all live page IDs in ascending order (test helper).
 func (s *MemStore) IDs() []PageID {
 	ids := make([]PageID, 0, len(s.nodes))
 	for id := range s.nodes {
 		ids = append(ids, id)
 	}
+	slices.Sort(ids)
 	return ids
 }

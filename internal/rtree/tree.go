@@ -407,6 +407,7 @@ func chooseByCentroid(n *Node, c geom.Point) int {
 	bestRadius := math.Inf(1)
 	for i, e := range n.Entries {
 		d := c.DistSq(e.Sphere.Center)
+		//lint:allow floatcmp exact distance tie deliberately broken by the smaller radius
 		if d < bestDist || (d == bestDist && e.Sphere.Radius < bestRadius) {
 			best, bestDist, bestRadius = i, d, e.Sphere.Radius
 		}
@@ -416,9 +417,11 @@ func chooseByCentroid(n *Node, c geom.Point) int {
 
 // better compares (overlap, enlargement, area) triples lexicographically.
 func better(o, e, a, bo, be, ba float64) bool {
+	//lint:allow floatcmp lexicographic triple comparison needs exact equality to fall through
 	if o != bo {
 		return o < bo
 	}
+	//lint:allow floatcmp lexicographic triple comparison needs exact equality to fall through
 	if e != be {
 		return e < be
 	}
@@ -539,6 +542,7 @@ func (t *Tree) chooseSplit(entries []Entry) (g1, g2 []Entry) {
 		byLo := append([]Entry(nil), entries...)
 		a := axis
 		sort.SliceStable(byLo, func(i, j int) bool {
+			//lint:allow floatcmp exact-equal coordinates deliberately fall through to the Hi tie-break
 			if byLo[i].Rect.Lo[a] != byLo[j].Rect.Lo[a] {
 				return byLo[i].Rect.Lo[a] < byLo[j].Rect.Lo[a]
 			}
@@ -546,6 +550,7 @@ func (t *Tree) chooseSplit(entries []Entry) (g1, g2 []Entry) {
 		})
 		byHi := append([]Entry(nil), entries...)
 		sort.SliceStable(byHi, func(i, j int) bool {
+			//lint:allow floatcmp exact-equal coordinates deliberately fall through to the Lo tie-break
 			if byHi[i].Rect.Hi[a] != byHi[j].Rect.Hi[a] {
 				return byHi[i].Rect.Hi[a] < byHi[j].Rect.Hi[a]
 			}
@@ -579,6 +584,7 @@ func (t *Tree) chooseSplit(entries []Entry) (g1, g2 []Entry) {
 			r2 := coverMBR(list[split:])
 			overlap := r1.OverlapArea(r2)
 			area := r1.Area() + r2.Area()
+			//lint:allow floatcmp exact overlap tie deliberately broken by the smaller total area
 			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
 				bestOverlap, bestArea = overlap, area
 				bestList, bestSplit = list, split

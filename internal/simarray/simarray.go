@@ -214,6 +214,7 @@ func (s *System) pickMirror(d, cylinder int) int {
 		for m := 1; m < s.cfg.Mirrors; m++ {
 			free := s.disks[d][m].FreeAt()
 			dist := armDist(s.drive[d][m], cylinder)
+			//lint:allow floatcmp exact free-time tie deliberately broken by the nearer arm
 			if free < bestFree || (free == bestFree && dist < bestDist) {
 				best, bestFree, bestDist = m, free, dist
 			}
