@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Duration per fuzz target in the `fuzz` smoke target.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet analyze test race lint bench fuzz full
+.PHONY: all build vet analyze test race lint bench fuzz chaos chaos-full full
 
 all: build vet analyze test
 
@@ -53,12 +53,24 @@ fuzz:
 	$(GO) test -fuzz=FuzzGeomMetrics -fuzztime=$(FUZZTIME) ./internal/geom/
 	$(GO) test -fuzz=FuzzRTreeOps -fuzztime=$(FUZZTIME) ./internal/rtree/
 
+## chaos: the fault-injection suite under the race detector — injector
+## determinism, degraded-mode engine reads, simulator fail-stop, mirror
+## routing and query validation. Short mode trims the seeded sweeps for
+## the PR CI job; `chaos-full` runs every seed (the nightly job).
+CHAOS_RUN = 'Chaos|Fault|PickMirror|Mirrored|RAID0|BatchError|FetchBatch|TraceTerminal|Validat|Injector|FailStop|DeadOnArrival|Transient|Spike|Reader|ErrData'
+chaos:
+	$(GO) test -race -short -run $(CHAOS_RUN) ./internal/fault/ ./internal/exec/ ./internal/simarray/ ./internal/query/
+
+chaos-full:
+	$(GO) test -race -run $(CHAOS_RUN) ./internal/fault/ ./internal/exec/ ./internal/simarray/ ./internal/query/
+
 ## full: everything the manually-dispatched nightly job runs.
 ## govulncheck needs network access to the vuln DB, so it is skipped
 ## (with a notice) when the pinned binary cannot be installed.
 full:
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos-full
 	$(GO) test -bench=. -benchtime=1x ./...
 	OBS_OVERHEAD=1 $(GO) test -run TestObservedOverhead -v .
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput/engine-workers=10x2$$|BenchmarkEngineObserved' -benchtime 2s .

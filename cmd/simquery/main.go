@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,6 +46,17 @@ func main() {
 		qspec  = flag.String("q", "", "query point as comma-separated coordinates (default: sampled)")
 		engine = flag.Bool("engine", false, "also run the query on the real concurrent engine and print its latency snapshot")
 		obsFl  = flag.String("obs", "", "serve expvar and pprof debug endpoints on this address (e.g. 127.0.0.1:6060)")
+
+		// Fault injection (engine mode): replicate the page stores and
+		// inject deterministic drive failures into the read path.
+		mirrors   = flag.Int("mirrors", 1, "physical replicas per engine disk (RAID-1 shadowing when > 1)")
+		hedge     = flag.Bool("hedge", false, "hedge slow engine reads against a mirror (needs -mirrors > 1)")
+		failDrive = flag.Int("fail-drive", -1, "fail-stop this physical drive (keyed disk*mirrors+mirror; -1 = none)")
+		failAfter = flag.Int("fail-after", 0, "with -fail-drive: serve this many I/Os before fail-stopping (0 = dead on arrival)")
+		faultP    = flag.Float64("fault-p", 0, "per-I/O transient error probability on every drive")
+		spikeP    = flag.Float64("spike-p", 0, "per-I/O latency-spike probability on every drive")
+		spikeMs   = flag.Float64("spike-ms", 5, "injected spike duration in milliseconds")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 	)
 	flag.Parse()
 
@@ -122,7 +134,25 @@ func main() {
 	}
 
 	if *engine {
-		eng, err := ix.NewEngine(core.EngineConfig{})
+		cfg := core.EngineConfig{Mirrors: *mirrors, HedgeReads: *hedge}
+		injecting := *failDrive >= 0 || *faultP > 0 || *spikeP > 0
+		if injecting {
+			inj := core.NewFaultInjector(*faultSeed)
+			for drv := 0; drv < *disks*max(*mirrors, 1); drv++ {
+				f := core.DriveFaults{Transient: *faultP, SpikeProb: *spikeP,
+					SpikeDelay: time.Duration(*spikeMs * float64(time.Millisecond))}
+				if drv == *failDrive {
+					if *failAfter > 0 {
+						f.FailAfter = *failAfter
+					} else {
+						f.Dead = true
+					}
+				}
+				inj.Set(drv, f)
+			}
+			cfg.Fault = inj
+		}
+		eng, err := ix.NewEngine(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,6 +162,11 @@ func main() {
 		}
 		for _, name := range algs {
 			if _, _, err := eng.KNN(context.Background(), q, *k, name); err != nil {
+				var dataErr *core.ErrDataUnavailable
+				if errors.As(err, &dataErr) {
+					fmt.Printf("[%s] degraded mode: %v\n", name, dataErr)
+					continue
+				}
 				log.Fatal(err)
 			}
 		}
@@ -142,6 +177,11 @@ func main() {
 			secs(s.QueryLatency.P50()), secs(s.QueryLatency.P95()), secs(s.QueryLatency.P99()))
 		fmt.Printf("  fetch latency p50/p95/p99: %v / %v / %v\n",
 			secs(s.FetchLatency.P50()), secs(s.FetchLatency.P95()), secs(s.FetchLatency.P99()))
+		if injecting {
+			fmt.Printf("  fault path: %d retries, %d redirects, %d hedges (%d won), %d fetch errors, %d replicas degraded\n",
+				s.Faults.Retries, s.Faults.Redirects, s.Faults.Hedges, s.Faults.HedgeWins,
+				s.Stats.FetchErrors, s.Faults.DisksDegraded)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/decluster"
 	"repro/internal/disk"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/parallel"
 	"repro/internal/query"
@@ -40,7 +41,22 @@ type (
 	RunResult = simarray.RunResult
 	// QueryOutcome is the timing record of one simulated query.
 	QueryOutcome = simarray.QueryOutcome
+	// InvalidQueryError reports a malformed k-NN query, rejected
+	// identically by every execution path.
+	InvalidQueryError = query.InvalidQueryError
+	// FaultInjector deterministically injects drive failures and
+	// latency spikes into the concurrent engine's replica reads.
+	FaultInjector = fault.Injector
+	// DriveFaults is one drive's fault program for a FaultInjector.
+	DriveFaults = fault.Faults
+	// ErrDataUnavailable is the typed degraded-mode error: a page had
+	// no live replica, so the query failed rather than answer wrongly.
+	ErrDataUnavailable = fault.ErrDataUnavailable
 )
+
+// NewFaultInjector creates a deterministic fault injector for
+// EngineConfig.Fault; drives are keyed disk*Mirrors+mirror.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.NewInjector(seed) }
 
 // IndexConfig configures a disk-array similarity index.
 type IndexConfig struct {
@@ -176,14 +192,10 @@ func (ix *Index) KNN(q Point, k int, algorithm string) ([]Neighbor, *QueryStats,
 	if err != nil {
 		return nil, nil, err
 	}
-	if q.Dim() != ix.cfg.Dim {
-		return nil, nil, fmt.Errorf("core: query dim %d, index dim %d", q.Dim(), ix.cfg.Dim)
-	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	d := query.Driver{Tree: ix.tree}
-	res, stats := d.Run(alg, q, k, query.Options{})
-	return res, stats, nil
+	return d.RunChecked(alg, q, k, query.Options{})
 }
 
 // KNNTraced is KNN with a stage-by-stage trace callback (see
@@ -194,14 +206,10 @@ func (ix *Index) KNNTraced(q Point, k int, algorithm string, trace func(string))
 	if err != nil {
 		return nil, nil, err
 	}
-	if q.Dim() != ix.cfg.Dim {
-		return nil, nil, fmt.Errorf("core: query dim %d, index dim %d", q.Dim(), ix.cfg.Dim)
-	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	d := query.Driver{Tree: ix.tree}
-	res, stats := d.Run(alg, q, k, query.Options{Trace: trace})
-	return res, stats, nil
+	return d.RunChecked(alg, q, k, query.Options{Trace: trace})
 }
 
 // RangeSearch returns all objects within distance eps of q (the paper's

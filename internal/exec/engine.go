@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bufferpool"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/pagestore"
@@ -56,6 +57,37 @@ type Config struct {
 	CachePages int
 	// CacheShards is the lock sharding of the page cache (default 8).
 	CacheShards int
+	// Mirrors is the number of physical replicas of every logical
+	// disk's page store (default 1 — the paper's RAID-0; 2 models
+	// RAID-1 shadowing, mirroring simarray.Config.Mirrors). Reads pick
+	// a primary replica per page and redirect to a mirror when the
+	// primary fails or is degraded.
+	Mirrors int
+	// Fault, when non-nil, injects failures and latency spikes into
+	// every replica read (drives are keyed disk*Mirrors+mirror). Nil
+	// injects nothing and costs nothing.
+	Fault *fault.Injector
+	// RetryLimit is how many times a transiently failed read is
+	// re-attempted on the same replica before redirecting to a mirror
+	// (default 2; negative disables retries).
+	RetryLimit int
+	// RetryBackoff is the initial pause between retry attempts; it
+	// doubles per attempt up to RetryMaxBackoff, honoring the query
+	// context's deadline (defaults 200µs / 5ms).
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// DegradeAfter marks a replica degraded — skipped by all future
+	// reads — after that many consecutive failed I/Os (default 4). A
+	// fail-stop error (fault.ErrDiskDead) degrades immediately.
+	DegradeAfter int
+	// HedgeReads fires a duplicate read at a mirror when the primary
+	// has not answered within a p99-derived delay (needs Mirrors > 1).
+	// The first answer wins; the loser is discarded.
+	HedgeReads bool
+	// HedgeDelayFloor is the minimum hedge delay, used verbatim until
+	// the replica-read latency histogram has enough samples for a
+	// meaningful p99 (default 1ms).
+	HedgeDelayFloor time.Duration
 }
 
 func (c *Config) fill() {
@@ -68,6 +100,26 @@ func (c *Config) fill() {
 	if c.CacheShards <= 0 {
 		c.CacheShards = 8
 	}
+	if c.Mirrors <= 0 {
+		c.Mirrors = 1
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 2
+	} else if c.RetryLimit < 0 {
+		c.RetryLimit = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 200 * time.Microsecond
+	}
+	if c.RetryMaxBackoff <= 0 {
+		c.RetryMaxBackoff = 5 * time.Millisecond
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 4
+	}
+	if c.HedgeDelayFloor <= 0 {
+		c.HedgeDelayFloor = time.Millisecond
+	}
 }
 
 // Stats are the engine's cumulative counters (monotonic since New).
@@ -76,10 +128,16 @@ type Stats struct {
 	Cancelled    uint64 // queries aborted by context or Close
 	PagesFetched uint64 // page fetches served by disk workers
 	Decodes      uint64 // physical page decodes (cache misses when caching)
-	// FetchesCancelled counts fetch jobs a worker abandoned because
-	// the query's context was already cancelled — no page was decoded
-	// for them and they do not count as PagesFetched.
+	// FetchesCancelled counts fetch jobs abandoned on a cancelled
+	// query context — either before a worker picked them up or while
+	// the fetch was in flight. No page is delivered for them and they
+	// do not count as PagesFetched.
 	FetchesCancelled uint64
+	// FetchErrors counts fetch jobs that failed with a real I/O error
+	// after the read path exhausted every replica, retry and hedge.
+	// Distinct from FetchesCancelled: cancellation noise never masks
+	// an I/O error, and vice versa.
+	FetchErrors uint64
 }
 
 // Sub diffs two cumulative snapshots (s taken after prev).
@@ -90,6 +148,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		PagesFetched:     s.PagesFetched - prev.PagesFetched,
 		Decodes:          s.Decodes - prev.Decodes,
 		FetchesCancelled: s.FetchesCancelled - prev.FetchesCancelled,
+		FetchErrors:      s.FetchErrors - prev.FetchErrors,
 	}
 }
 
@@ -104,7 +163,8 @@ type diskStore struct {
 	resident map[rtree.PageID]*rtree.Node
 }
 
-func (s *diskStore) read(id rtree.PageID) (*rtree.Node, error) {
+// ReadPage implements pagestore.Reader.
+func (s *diskStore) ReadPage(id rtree.PageID) (*rtree.Node, error) {
 	if buf, ok := s.pages[id]; ok {
 		return s.codec.Decode(buf)
 	}
@@ -112,6 +172,21 @@ func (s *diskStore) read(id rtree.PageID) (*rtree.Node, error) {
 		return n, nil
 	}
 	return nil, fmt.Errorf("exec: page %d not stored on this disk", id)
+}
+
+// replica is one physical copy of a logical disk's page store, with
+// its own health state. All replicas of a disk share the encoded page
+// content; they differ in the (possibly fault-injected) reader and in
+// whether they have been marked degraded.
+type replica struct {
+	disk   int
+	mirror int
+	reader pagestore.Reader
+	// consecFails counts consecutive failed I/Os; any success resets
+	// it, and crossing Config.DegradeAfter marks the replica degraded.
+	consecFails atomic.Int64
+	// degraded replicas are skipped by all future reads.
+	degraded atomic.Bool
 }
 
 // fetchJob asks a disk worker for one page of a stage batch.
@@ -129,6 +204,7 @@ type fetchResult struct {
 	err  error
 	wall time.Duration // queue wait + service, worker-measured
 	hit  bool          // served by the shared decoded-page cache
+	done bool          // a worker actually processed this slot
 }
 
 // Engine executes k-NN queries concurrently against a shared parallel
@@ -136,12 +212,13 @@ type fetchResult struct {
 // engine snapshots page content at construction and reads tree
 // placement metadata without locks.
 type Engine struct {
-	tree   *parallel.Tree
-	cfg    Config
-	stores []*diskStore
-	queues []chan *fetchJob
-	sem    chan struct{} // in-flight fetch slots
-	cache  *bufferpool.Sharded[rtree.PageID, *rtree.Node]
+	tree     *parallel.Tree
+	cfg      Config
+	stores   []*diskStore
+	replicas [][]*replica // [logical disk][mirror]
+	queues   []chan *fetchJob
+	sem      chan struct{} // in-flight fetch slots
+	cache    *bufferpool.Sharded[rtree.PageID, *rtree.Node]
 
 	mu       sync.Mutex
 	isClosed bool           // guarded by mu
@@ -154,12 +231,15 @@ type Engine struct {
 	pagesFetched     atomic.Uint64
 	decodes          atomic.Uint64
 	fetchesCancelled atomic.Uint64
+	fetchErrors      atomic.Uint64
 
 	// Observability: per-disk gauges and wall-clock latency
 	// histograms, always on (single atomic ops on the hot path).
 	gauges   []obs.DiskGauges
+	faults   obs.FaultCounters
 	queryLat *obs.Histogram // successful KNN calls, end to end
 	fetchLat *obs.Histogram // per page fetch: queue wait + service
+	readLat  *obs.Histogram // per successful replica read (service only); feeds the hedge delay
 	stageLat *obs.Histogram // per stage batch: submit to last arrival
 	semWait  *obs.Histogram // per stage: total in-flight-slot wait
 }
@@ -177,12 +257,14 @@ func New(t *parallel.Tree, cfg Config) (*Engine, error) {
 		tree:     t,
 		cfg:      cfg,
 		stores:   make([]*diskStore, n),
+		replicas: make([][]*replica, n),
 		queues:   make([]chan *fetchJob, n),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		closed:   make(chan struct{}),
 		gauges:   make([]obs.DiskGauges, n),
 		queryLat: obs.NewLatencyHistogram(),
 		fetchLat: obs.NewLatencyHistogram(),
+		readLat:  obs.NewLatencyHistogram(),
 		stageLat: obs.NewLatencyHistogram(),
 		semWait:  obs.NewLatencyHistogram(),
 	}
@@ -215,6 +297,18 @@ func New(t *parallel.Tree, cfg Config) (*Engine, error) {
 	if buildErr != nil {
 		return nil, buildErr
 	}
+	// RAID-1 replica set: mirrors share the disk's encoded content but
+	// carry independent fault programs and health state.
+	for d := 0; d < n; d++ {
+		e.replicas[d] = make([]*replica, cfg.Mirrors)
+		for m := 0; m < cfg.Mirrors; m++ {
+			var rd pagestore.Reader = e.stores[d]
+			if cfg.Fault != nil {
+				rd = cfg.Fault.Reader(d*cfg.Mirrors+m, rd)
+			}
+			e.replicas[d][m] = &replica{disk: d, mirror: m, reader: rd}
+		}
+	}
 	if cfg.CachePages > 0 {
 		e.cache = bufferpool.NewSharded[rtree.PageID, *rtree.Node](
 			cfg.CachePages, cfg.CacheShards,
@@ -241,7 +335,21 @@ func (e *Engine) Stats() Stats {
 		PagesFetched:     e.pagesFetched.Load(),
 		Decodes:          e.decodes.Load(),
 		FetchesCancelled: e.fetchesCancelled.Load(),
+		FetchErrors:      e.fetchErrors.Load(),
 	}
+}
+
+// ReplicaHealth reports, per logical disk and mirror, whether the
+// replica is currently degraded (true = skipped by reads).
+func (e *Engine) ReplicaHealth() [][]bool {
+	out := make([][]bool, len(e.replicas))
+	for d, reps := range e.replicas {
+		out[d] = make([]bool, len(reps))
+		for m, r := range reps {
+			out[d][m] = r.degraded.Load()
+		}
+	}
+	return out
 }
 
 // CacheStats returns the shared page cache counters (zero when the
@@ -256,45 +364,256 @@ func (e *Engine) CacheStats() bufferpool.Stats {
 // worker serves one disk's fetch queue until Close drains it. A job
 // whose context is already cancelled is abandoned without decoding its
 // page: the context error is delivered and the job counts under the
-// cancellation telemetry, not under PagesFetched.
+// cancellation telemetry, not under PagesFetched. A job that fails
+// after the read path exhausted every replica counts under the I/O
+// error telemetry — the two classes never mix.
 func (e *Engine) worker(d int) {
 	defer e.workers.Done()
-	st := e.stores[d]
 	g := &e.gauges[d]
 	for job := range e.queues[d] {
 		g.Queued.Add(-1)
-		res := fetchResult{idx: job.idx}
+		res := fetchResult{idx: job.idx, done: true}
 		if err := job.ctx.Err(); err != nil {
 			res.err = err
 			g.Cancelled.Add(1)
 			e.fetchesCancelled.Add(1)
 		} else {
 			g.InFlight.Add(1)
-			res.node, res.hit, res.err = e.readPage(st, job.page)
+			res.node, res.hit, res.err = e.readPage(job.ctx, d, job.page)
 			g.InFlight.Add(-1)
-			e.pagesFetched.Add(1)
-			g.Served.Add(1)
-			res.wall = time.Since(job.submitted)
-			e.fetchLat.Observe(res.wall.Seconds())
+			switch {
+			case res.err == nil:
+				e.pagesFetched.Add(1)
+				g.Served.Add(1)
+				res.wall = time.Since(job.submitted)
+				e.fetchLat.Observe(res.wall.Seconds())
+			case isCancellation(res.err):
+				g.Cancelled.Add(1)
+				e.fetchesCancelled.Add(1)
+			default:
+				g.Failed.Add(1)
+				e.fetchErrors.Add(1)
+			}
 		}
 		job.out <- res // buffered to batch size; never blocks
 		<-e.sem        // release the in-flight slot
 	}
 }
 
+// isCancellation classifies context noise apart from real I/O errors.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // readPage resolves one page through the shared cache (singleflight
-// deduplicated) or straight from the disk store. hit reports whether
-// the page was served without a decode in this call.
-func (e *Engine) readPage(st *diskStore, id rtree.PageID) (*rtree.Node, bool, error) {
+// deduplicated) or straight from the disk's replica set. hit reports
+// whether the page was served without a decode in this call.
+func (e *Engine) readPage(ctx context.Context, d int, id rtree.PageID) (*rtree.Node, bool, error) {
 	if e.cache == nil {
-		e.decodes.Add(1)
-		n, err := st.read(id)
+		n, err := e.readReplicated(ctx, d, id)
 		return n, false, err
 	}
 	return e.cache.GetOrFetchHit(id, func() (*rtree.Node, error) {
-		e.decodes.Add(1)
-		return st.read(id)
+		return e.readReplicated(ctx, d, id)
 	})
+}
+
+// readReplicated is the degraded-mode read path: it resolves one page
+// from a logical disk's replica set, preferring a page-deterministic
+// primary, retrying transient failures per replica, redirecting to the
+// next live mirror when a replica fails or is degraded, and optionally
+// hedging the primary read. When no replica can serve the page it
+// returns *fault.ErrDataUnavailable — never a wrong or partial node.
+func (e *Engine) readReplicated(ctx context.Context, d int, id rtree.PageID) (*rtree.Node, error) {
+	reps := e.replicas[d]
+	// The primary is a pure function of the page so mirrored load
+	// spreads without per-query state and results stay deterministic.
+	start := int(uint32(id)) % len(reps)
+	order := make([]*replica, 0, len(reps))
+	for i := 0; i < len(reps); i++ {
+		if r := reps[(start+i)%len(reps)]; !r.degraded.Load() {
+			order = append(order, r)
+		}
+	}
+	if len(order) == 0 {
+		return nil, &fault.ErrDataUnavailable{Disk: d, Page: id}
+	}
+	if order[0] != reps[start] {
+		// The primary itself is degraded: this fetch is redirected
+		// before it even starts.
+		e.faults.Redirects.Add(1)
+	}
+	if e.cfg.HedgeReads && len(order) > 1 {
+		return e.readHedged(ctx, d, order, id)
+	}
+	var lastErr error
+	for i, rep := range order {
+		if i > 0 {
+			e.faults.Redirects.Add(1)
+		}
+		n, err := e.readReplica(ctx, rep, id)
+		if err == nil {
+			return n, nil
+		}
+		if isCancellation(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, &fault.ErrDataUnavailable{Disk: d, Page: id, Last: lastErr}
+}
+
+// repRead is one replica read's outcome, tagged with its source for
+// hedge-win attribution.
+type repRead struct {
+	node *rtree.Node
+	err  error
+	rep  *replica
+}
+
+// readHedged races the primary replica against a mirror: the mirror
+// read fires only if the primary has not answered within the hedge
+// delay, and the first successful answer wins. Failures fall back to
+// the remaining live mirrors sequentially.
+func (e *Engine) readHedged(ctx context.Context, d int, order []*replica, id rtree.PageID) (*rtree.Node, error) {
+	primary, backup := order[0], order[1]
+	out := make(chan repRead, 2) // buffered: a loser never blocks or leaks
+	go func() {
+		n, err := e.readReplica(ctx, primary, id)
+		out <- repRead{node: n, err: err, rep: primary}
+	}()
+	timer := time.NewTimer(e.hedgeDelay())
+	defer timer.Stop()
+	inFlight := 1
+	var first repRead
+	select {
+	case first = <-out:
+		inFlight--
+	case <-timer.C:
+		e.faults.Hedges.Add(1)
+		inFlight++
+		go func() {
+			n, err := e.readReplica(ctx, backup, id)
+			out <- repRead{node: n, err: err, rep: backup}
+		}()
+		first = <-out
+		inFlight--
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if first.err == nil {
+		if first.rep == backup {
+			e.faults.HedgeWins.Add(1)
+		}
+		return first.node, nil
+	}
+	if isCancellation(first.err) {
+		return nil, first.err
+	}
+	lastErr := first.err
+	tried := map[*replica]bool{first.rep: true}
+	// Wait out the other racer, if any, before walking the rest.
+	for ; inFlight > 0; inFlight-- {
+		second := <-out
+		tried[second.rep] = true
+		if second.err == nil {
+			if second.rep == backup {
+				e.faults.HedgeWins.Add(1)
+			}
+			return second.node, nil
+		}
+		if isCancellation(second.err) {
+			return nil, second.err
+		}
+		lastErr = second.err
+	}
+	for _, rep := range order {
+		if tried[rep] {
+			continue
+		}
+		e.faults.Redirects.Add(1)
+		n, err := e.readReplica(ctx, rep, id)
+		if err == nil {
+			return n, nil
+		}
+		if isCancellation(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, &fault.ErrDataUnavailable{Disk: d, Page: id, Last: lastErr}
+}
+
+// hedgeDelay derives the hedge trigger from the replica-read latency
+// p99, floored by Config.HedgeDelayFloor while the histogram is too
+// thin to trust.
+func (e *Engine) hedgeDelay() time.Duration {
+	delay := e.cfg.HedgeDelayFloor
+	if s := e.readLat.Snapshot(); s.Count >= 64 {
+		if p := time.Duration(s.P99() * float64(time.Second)); p > delay {
+			delay = p
+		}
+	}
+	return delay
+}
+
+// readReplica performs one replica's read with bounded retries and
+// capped exponential backoff. A success resets the replica's
+// consecutive-failure count; crossing Config.DegradeAfter (or a
+// fail-stop error) marks the replica degraded and returns immediately
+// so the caller redirects to a mirror.
+func (e *Engine) readReplica(ctx context.Context, rep *replica, id rtree.PageID) (*rtree.Node, error) {
+	backoff := e.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		begin := time.Now()
+		n, err := rep.reader.ReadPage(id)
+		if err == nil {
+			rep.consecFails.Store(0)
+			e.decodes.Add(1)
+			e.readLat.Observe(time.Since(begin).Seconds())
+			return n, nil
+		}
+		dead := errors.Is(err, fault.ErrDiskDead)
+		if fails := rep.consecFails.Add(1); dead || fails >= int64(e.cfg.DegradeAfter) {
+			e.degrade(rep)
+			return nil, err
+		}
+		if attempt >= e.cfg.RetryLimit {
+			return nil, err
+		}
+		e.faults.Retries.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > e.cfg.RetryMaxBackoff {
+			backoff = e.cfg.RetryMaxBackoff
+		}
+	}
+}
+
+// degrade marks a replica dead-to-reads exactly once.
+func (e *Engine) degrade(rep *replica) {
+	if rep.degraded.CompareAndSwap(false, true) {
+		e.faults.DisksDegraded.Add(1)
+	}
+}
+
+// batchError picks the stage's error with I/O errors first: a real
+// read failure (no live replica, data unavailable) must surface even
+// when the failure also cancelled the query context and flooded the
+// remaining fetches with cancellation noise. submitErr (from the
+// fan-out loop) outranks collected cancellations for the same reason —
+// it may be ErrClosed, which callers must see over a context error.
+func batchError(ioErr, submitErr, cancelErr error) error {
+	if ioErr != nil {
+		return ioErr
+	}
+	if submitErr != nil {
+		return submitErr
+	}
+	return cancelErr
 }
 
 // fetchBatch resolves one stage's requests through the disk workers:
@@ -304,13 +623,15 @@ func (e *Engine) readPage(st *diskStore, id rtree.PageID) (*rtree.Node, bool, er
 // deterministic tie-breaking, which is what makes engine results
 // identical to the sequential Driver's. With an observer attached the
 // stage emits SemWait, per-fetch FetchDone (request order, wall-clock
-// latency and cache attribution) and StageDone events.
+// latency and cache attribution, completed fetches only) and StageDone
+// events on every exit path, success or failure, so traces stay
+// well-formed under cancellation and injected faults.
 func (e *Engine) fetchBatch(ctx context.Context, stage int, reqs []query.PageRequest, obsv obs.QueryObserver) ([]*rtree.Node, error) {
 	start := time.Now()
 	out := make(chan fetchResult, len(reqs))
 	submitted := 0
 	var semWait time.Duration
-	var err error
+	var submitErr error
 submit:
 	for i, r := range reqs {
 		acquire := time.Now()
@@ -318,10 +639,10 @@ submit:
 		case e.sem <- struct{}{}:
 			semWait += time.Since(acquire)
 		case <-ctx.Done():
-			err = ctx.Err()
+			submitErr = ctx.Err()
 			break submit
 		case <-e.closed:
-			err = ErrClosed
+			submitErr = ErrClosed
 			break submit
 		}
 		job := &fetchJob{page: r.Page, idx: i, ctx: ctx, out: out, submitted: time.Now()}
@@ -332,35 +653,47 @@ submit:
 		case <-ctx.Done():
 			e.gauges[r.Disk].Queued.Add(-1)
 			<-e.sem
-			err = ctx.Err()
+			submitErr = ctx.Err()
 			break submit
 		case <-e.closed:
 			e.gauges[r.Disk].Queued.Add(-1)
 			<-e.sem
-			err = ErrClosed
+			submitErr = ErrClosed
 			break submit
 		}
 	}
 	e.semWait.Observe(semWait.Seconds())
+	// Drain every submitted job even after an error: workers own sem
+	// slots until delivery, and the first I/O error must not be masked
+	// by cancellation noise from sibling fetches.
+	var ioErr, cancelErr error
 	results := make([]fetchResult, len(reqs))
 	for c := 0; c < submitted; c++ {
 		res := <-out
-		if res.err != nil {
-			if err == nil {
-				err = res.err
-			}
-			continue
-		}
 		results[res.idx] = res
+		switch {
+		case res.err == nil:
+		case isCancellation(res.err):
+			if cancelErr == nil {
+				cancelErr = res.err
+			}
+		default:
+			if ioErr == nil {
+				ioErr = res.err
+			}
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
+	err := batchError(ioErr, submitErr, cancelErr)
 	wall := time.Since(start)
-	e.stageLat.Observe(wall.Seconds())
+	if err == nil {
+		e.stageLat.Observe(wall.Seconds())
+	}
 	if obsv != nil {
 		obsv.Observe(obs.Event{Type: obs.SemWait, Stage: stage, Batch: len(reqs), Wall: semWait})
 		for i, r := range reqs {
+			if !results[i].done || results[i].err != nil {
+				continue
+			}
 			obsv.Observe(obs.Event{
 				Type: obs.FetchDone, Stage: stage,
 				Page: int64(r.Page), Disk: r.Disk, Pages: r.Pages, Cached: r.Cached,
@@ -368,6 +701,9 @@ submit:
 			})
 		}
 		obsv.Observe(obs.Event{Type: obs.StageDone, Stage: stage, Batch: len(reqs), Wall: wall})
+	}
+	if err != nil {
+		return nil, err
 	}
 	nodes := make([]*rtree.Node, len(reqs))
 	for i := range results {
@@ -385,11 +721,8 @@ submit:
 // not fetch. For a decoded-page cache prefer the engine's own
 // Config.CachePages, which also deduplicates concurrent fetches.
 func (e *Engine) KNN(ctx context.Context, alg query.Algorithm, q geom.Point, k int, opts query.Options) ([]query.Neighbor, *query.Stats, error) {
-	if k <= 0 {
-		return nil, nil, fmt.Errorf("exec: k must be positive, got %d", k)
-	}
-	if q.Dim() != e.tree.Config().Dim {
-		return nil, nil, fmt.Errorf("exec: query dim %d, tree dim %d", q.Dim(), e.tree.Config().Dim)
+	if err := query.ValidateKNN(e.tree, q, k); err != nil {
+		return nil, nil, err
 	}
 	if err := e.begin(); err != nil {
 		return nil, nil, err

@@ -21,8 +21,17 @@ type Snapshot struct {
 	// per-disk mean — 1.0 is the perfectly declustered load the
 	// paper's proximity-index placement aims for (§2.2).
 	BalanceRatio float64
+	// Faults is the degraded-mode telemetry: retries, mirror
+	// redirects, hedged reads and the degraded-replica gauge.
+	Faults obs.FaultSnapshot
+	// Degraded mirrors Engine.ReplicaHealth: per logical disk and
+	// mirror, whether the replica is currently skipped by reads.
+	Degraded     [][]bool
 	QueryLatency obs.HistSnapshot
 	FetchLatency obs.HistSnapshot
+	// ReadLatency is the per-replica-read service time (successful
+	// reads only); its p99 drives the hedge delay.
+	ReadLatency  obs.HistSnapshot
 	StageLatency obs.HistSnapshot
 	SemWait      obs.HistSnapshot
 }
@@ -36,8 +45,11 @@ func (e *Engine) Snapshot() Snapshot {
 		Stats:        e.Stats(),
 		Cache:        e.CacheStats(),
 		Disks:        make([]obs.DiskSnapshot, len(e.gauges)),
+		Faults:       e.faults.Snapshot(),
+		Degraded:     e.ReplicaHealth(),
 		QueryLatency: e.queryLat.Snapshot(),
 		FetchLatency: e.fetchLat.Snapshot(),
+		ReadLatency:  e.readLat.Snapshot(),
 		StageLatency: e.stageLat.Snapshot(),
 		SemWait:      e.semWait.Snapshot(),
 	}
@@ -58,8 +70,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Stats:        s.Stats.Sub(prev.Stats),
 		Cache:        subCacheStats(s.Cache, prev.Cache),
 		Disks:        make([]obs.DiskSnapshot, len(s.Disks)),
+		Faults:       s.Faults.Sub(prev.Faults),
+		Degraded:     s.Degraded, // instantaneous: keep the later view
 		QueryLatency: s.QueryLatency.Sub(prev.QueryLatency),
 		FetchLatency: s.FetchLatency.Sub(prev.FetchLatency),
+		ReadLatency:  s.ReadLatency.Sub(prev.ReadLatency),
 		StageLatency: s.StageLatency.Sub(prev.StageLatency),
 		SemWait:      s.SemWait.Sub(prev.SemWait),
 	}

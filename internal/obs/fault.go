@@ -1,0 +1,56 @@
+package obs
+
+import "sync/atomic"
+
+// FaultCounters is the degraded-mode telemetry of a replicated read
+// path: how often fetches retried, redirected to a mirror, hedged, and
+// how many replicas are currently marked degraded. All fields are
+// atomics; do not copy a FaultCounters once in use.
+type FaultCounters struct {
+	// Retries counts re-attempts of a failed read on the same replica
+	// (the first attempt is not a retry).
+	Retries atomic.Uint64
+	// Redirects counts fetches served (or attempted) away from their
+	// primary replica because the primary failed or was degraded.
+	Redirects atomic.Uint64
+	// Hedges counts duplicate reads fired at a mirror because the
+	// primary had not answered within the hedge delay.
+	Hedges atomic.Uint64
+	// HedgeWins counts hedged reads whose mirror answered first.
+	HedgeWins atomic.Uint64
+	// DisksDegraded is the number of replicas currently marked
+	// degraded (skipped by reads) — a gauge, not a cumulative counter.
+	DisksDegraded atomic.Int64
+}
+
+// Snapshot freezes the fault counters.
+func (c *FaultCounters) Snapshot() FaultSnapshot {
+	return FaultSnapshot{
+		Retries:       c.Retries.Load(),
+		Redirects:     c.Redirects.Load(),
+		Hedges:        c.Hedges.Load(),
+		HedgeWins:     c.HedgeWins.Load(),
+		DisksDegraded: c.DisksDegraded.Load(),
+	}
+}
+
+// FaultSnapshot is a point-in-time copy of a FaultCounters.
+type FaultSnapshot struct {
+	Retries       uint64
+	Redirects     uint64
+	Hedges        uint64
+	HedgeWins     uint64
+	DisksDegraded int64
+}
+
+// Sub diffs two snapshots: counters subtract, the degraded-disk gauge
+// keeps the later value.
+func (s FaultSnapshot) Sub(prev FaultSnapshot) FaultSnapshot {
+	return FaultSnapshot{
+		Retries:       s.Retries - prev.Retries,
+		Redirects:     s.Redirects - prev.Redirects,
+		Hedges:        s.Hedges - prev.Hedges,
+		HedgeWins:     s.HedgeWins - prev.HedgeWins,
+		DisksDegraded: s.DisksDegraded,
+	}
+}

@@ -16,9 +16,12 @@ type DiskGauges struct {
 	// Served counts pages this disk's workers delivered (cumulative).
 	Served atomic.Uint64
 	// Cancelled counts jobs abandoned because their query's context
-	// was already cancelled when a worker picked them up — no page was
-	// decoded for them (cumulative).
+	// was cancelled — either before a worker picked them up or while
+	// the fetch was in flight (cumulative).
 	Cancelled atomic.Uint64
+	// Failed counts jobs that ended with a real I/O error after the
+	// read path exhausted every replica, retry and hedge (cumulative).
+	Failed atomic.Uint64
 }
 
 // Snapshot freezes the gauges.
@@ -28,6 +31,7 @@ func (g *DiskGauges) Snapshot() DiskSnapshot {
 		InFlight:  g.InFlight.Load(),
 		Served:    g.Served.Load(),
 		Cancelled: g.Cancelled.Load(),
+		Failed:    g.Failed.Load(),
 	}
 }
 
@@ -37,6 +41,7 @@ type DiskSnapshot struct {
 	InFlight  int64
 	Served    uint64
 	Cancelled uint64
+	Failed    uint64
 }
 
 // Sub diffs two snapshots of the same disk: counters subtract,
@@ -47,6 +52,7 @@ func (s DiskSnapshot) Sub(prev DiskSnapshot) DiskSnapshot {
 		InFlight:  s.InFlight,
 		Served:    s.Served - prev.Served,
 		Cancelled: s.Cancelled - prev.Cancelled,
+		Failed:    s.Failed - prev.Failed,
 	}
 }
 

@@ -42,6 +42,16 @@ const (
 	headerSize    = 16
 )
 
+// Reader resolves one page into its decoded node. It is the seam the
+// fault-injection layer (package fault) and the replicated read path of
+// the concurrent engine wrap: a Reader may be a raw per-disk page
+// store, an injected store that fails or delays reads, or a mirror set
+// that redirects between them. Implementations must be safe for
+// concurrent use.
+type Reader interface {
+	ReadPage(id rtree.PageID) (*rtree.Node, error)
+}
+
 // Codec encodes and decodes nodes for a fixed page size and
 // dimensionality. Spheres selects the SR-tree on-page layout, where
 // each entry additionally stores a dim-float64 sphere center and a
@@ -298,6 +308,20 @@ func (s *PagedStore) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.nodes)
+}
+
+// ReadPage implements Reader: the page's encoded image is decoded into
+// a fresh node. Unlike Get it performs a physical decode and returns an
+// error (not a panic) for pages without an image, which is what the
+// degraded-mode read path needs.
+func (s *PagedStore) ReadPage(id rtree.PageID) (*rtree.Node, error) {
+	s.mu.RLock()
+	buf, ok := s.pages[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pagestore: page %d has no encoded image", id)
+	}
+	return s.codec.Decode(buf)
 }
 
 // Page returns the encoded image of a page (nil when the node was never

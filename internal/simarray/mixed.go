@@ -84,7 +84,12 @@ func (s *System) runInsert(p geom.Point, id rtree.ObjectID, out *InsertOutcome) 
 				// disk 0 cylinder 0 as metadata traffic.
 				pl.Disk, pl.Cylinder = 0, 0
 			}
-			m := s.pickMirror(pl.Disk, pl.Cylinder)
+			// Drive faults gate the query read path only; insert traffic
+			// falls back to mirror 0 when the policy finds no live drive.
+			m, ok := s.pickMirror(pl.Disk, pl.Cylinder)
+			if !ok {
+				m = 0
+			}
 			drv := s.drive[pl.Disk][m]
 			svc := drv.ServiceTime(pl.Cylinder, s.rot[pl.Disk])
 			s.disks[pl.Disk][m].Submit(svc, func(_, _ float64) {

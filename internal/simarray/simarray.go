@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -54,6 +55,22 @@ type Config struct {
 	// processors (e.g. in a shared-memory multiprocessor architecture)":
 	// each query stage runs on the least-loaded CPU.
 	CPUs int
+	// Faults fail-stops physical drives during the run: pickMirror
+	// skips dead drives, and a read with no live replica fails its
+	// query with *fault.ErrDataUnavailable instead of a wrong answer.
+	Faults []DriveFault
+}
+
+// DriveFault fail-stops one physical drive. Faults affect the query
+// read path only; insert traffic (RunMixed) is charged to mirror 0
+// regardless, since writes must eventually hit every mirror anyway.
+type DriveFault struct {
+	Disk   int // logical disk
+	Mirror int // physical mirror of that disk (0 when Mirrors == 1)
+	// AfterIOs is how many page reads the drive serves before it
+	// fail-stops; 0 means dead on arrival. A supernode's streamed
+	// extra pages count as part of their request's single I/O.
+	AfterIOs int
 }
 
 func (c *Config) fill() {
@@ -100,6 +117,10 @@ type QueryOutcome struct {
 	Response   float64
 	Stats      *query.Stats
 	Results    []query.Neighbor
+	// Err is non-nil when the query failed in degraded mode (typically
+	// *fault.ErrDataUnavailable: a page had no live replica). A failed
+	// query has nil Stats and Results — never a partial answer.
+	Err error
 }
 
 // DiskReport summarizes one drive after a run.
@@ -109,12 +130,14 @@ type DiskReport struct {
 	MeanWait    float64
 }
 
-// RunResult aggregates a workload run.
+// RunResult aggregates a workload run. Response-time aggregates cover
+// successful queries only; Failed counts the rest.
 type RunResult struct {
 	Outcomes     []QueryOutcome
 	MeanResponse float64
 	MaxResponse  float64
 	Makespan     float64 // completion time of the last query
+	Failed       int     // queries that ended with QueryOutcome.Err
 	Disks        []DiskReport
 	BusUtil      float64
 	CPUUtil      float64
@@ -133,6 +156,10 @@ type System struct {
 	drive  [][]*disk.Drive
 	rot    []*rand.Rand // per-logical-disk rotational latency streams
 	rrNext []int        // round-robin cursor per logical disk
+	// failAfter[d][m] is the drive's read budget before it fail-stops
+	// (-1 = never); served[d][m] counts reads issued to it so far.
+	failAfter [][]int
+	served    [][]int
 }
 
 // NewSystem builds the hardware around a tree. The number of disks comes
@@ -181,45 +208,85 @@ func NewSystem(tree *parallel.Tree, cfg Config) (*System, error) {
 		}
 		s.rot[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1))
 	}
+	s.failAfter = make([][]int, n)
+	s.served = make([][]int, n)
+	for i := 0; i < n; i++ {
+		s.failAfter[i] = make([]int, cfg.Mirrors)
+		s.served[i] = make([]int, cfg.Mirrors)
+		for m := range s.failAfter[i] {
+			s.failAfter[i][m] = -1
+		}
+	}
+	for _, f := range cfg.Faults {
+		if f.Disk < 0 || f.Disk >= n || f.Mirror < 0 || f.Mirror >= cfg.Mirrors {
+			return nil, fmt.Errorf("simarray: fault targets drive %d.%d outside the %dx%d array",
+				f.Disk, f.Mirror, n, cfg.Mirrors)
+		}
+		s.failAfter[f.Disk][f.Mirror] = f.AfterIOs
+	}
 	return s, nil
 }
 
+// driveDead reports whether a physical drive has fail-stopped.
+func (s *System) driveDead(d, m int) bool {
+	fa := s.failAfter[d][m]
+	return fa >= 0 && s.served[d][m] >= fa
+}
+
 // pickMirror selects the physical drive serving a read from logical
-// disk d at the given cylinder, per the configured policy.
-func (s *System) pickMirror(d, cylinder int) int {
+// disk d at the given cylinder, per the configured policy. Dead drives
+// are skipped; ok is false when no live mirror remains, in which case
+// the read cannot be served (RAID-0 data loss, or a fully dead mirror
+// set).
+func (s *System) pickMirror(d, cylinder int) (m int, ok bool) {
 	if s.cfg.Mirrors == 1 {
-		return 0
+		return 0, !s.driveDead(d, 0)
 	}
 	switch s.cfg.MirrorPolicy {
 	case "roundrobin":
-		m := s.rrNext[d]
-		s.rrNext[d] = (m + 1) % s.cfg.Mirrors
-		return m
-	case "nearest-arm":
-		best, bestDist := 0, -1
-		for m, drv := range s.drive[d] {
-			dist := drv.Arm() - cylinder
-			if dist < 0 {
-				dist = -dist
+		// Advance the cursor past dead drives so the live ones still
+		// alternate.
+		for i := 0; i < s.cfg.Mirrors; i++ {
+			m := s.rrNext[d]
+			s.rrNext[d] = (m + 1) % s.cfg.Mirrors
+			if !s.driveDead(d, m) {
+				return m, true
 			}
+		}
+		return 0, false
+	case "nearest-arm":
+		best, bestDist := -1, -1
+		for m, drv := range s.drive[d] {
+			if s.driveDead(d, m) {
+				continue
+			}
+			dist := armDist(drv, cylinder)
 			if bestDist < 0 || dist < bestDist {
 				best, bestDist = m, dist
 			}
 		}
-		return best
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
 	default: // shortest-queue, ties to the nearer arm
-		best := 0
-		bestFree := s.disks[d][0].FreeAt()
-		bestDist := armDist(s.drive[d][0], cylinder)
-		for m := 1; m < s.cfg.Mirrors; m++ {
+		best, bestDist := -1, 0
+		bestFree := 0.0
+		for m := 0; m < s.cfg.Mirrors; m++ {
+			if s.driveDead(d, m) {
+				continue
+			}
 			free := s.disks[d][m].FreeAt()
 			dist := armDist(s.drive[d][m], cylinder)
 			//lint:allow floatcmp exact free-time tie deliberately broken by the nearer arm
-			if free < bestFree || (free == bestFree && dist < bestDist) {
+			if best < 0 || free < bestFree || (free == bestFree && dist < bestDist) {
 				best, bestFree, bestDist = m, free, dist
 			}
 		}
-		return best
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
 	}
 }
 
@@ -256,6 +323,9 @@ type queryProc struct {
 	obsv     obs.QueryObserver
 	stage    int
 	arrivals []fetchArrival
+	// failed stops the query's remaining simulated events once a read
+	// had no live replica; late page arrivals are discarded.
+	failed bool
 }
 
 // fetchArrival records one page's simulated completion for the trace.
@@ -278,6 +348,9 @@ func (p *queryProc) start() {
 // its CPU cost is paid on the CPU station, and then the stage's page
 // requests fan out to the disks.
 func (p *queryProc) advance(delivered []*rtree.Node) {
+	if p.failed {
+		return
+	}
 	sr := p.exec.Step(delivered)
 	cpuTime := sr.Instructions / (p.sys.cfg.MIPS * 1e6)
 	p.sys.cpu().Submit(cpuTime, func(_, _ float64) {
@@ -303,7 +376,12 @@ func (p *queryProc) issue(reqs []query.PageRequest) {
 			p.sys.sim.After(0, func() { p.deliver(node, i, r) })
 			continue
 		}
-		m := p.sys.pickMirror(r.Disk, r.Cylinder)
+		m, ok := p.sys.pickMirror(r.Disk, r.Cylinder)
+		if !ok {
+			p.fail(&fault.ErrDataUnavailable{Disk: r.Disk, Page: r.Page, Last: fault.ErrDiskDead})
+			return
+		}
+		p.sys.served[r.Disk][m]++
 		drv := p.sys.drive[r.Disk][m]
 		svc := drv.ServiceTime(r.Cylinder, p.sys.rot[r.Disk])
 		if r.Pages > 1 {
@@ -322,6 +400,9 @@ func (p *queryProc) issue(reqs []query.PageRequest) {
 // deliver collects one page; when the whole stage has arrived its trace
 // events are emitted in request order and the next stage begins.
 func (p *queryProc) deliver(n *rtree.Node, idx int, r query.PageRequest) {
+	if p.failed {
+		return
+	}
 	if p.obsv != nil {
 		p.arrivals = append(p.arrivals, fetchArrival{req: r, idx: idx, at: p.sys.sim.Now()})
 	}
@@ -355,6 +436,22 @@ func (p *queryProc) finish() {
 	p.out.Response = p.out.Completion - p.out.Arrival
 	p.out.Results = p.exec.Results()
 	p.out.Stats = p.exec.Stats()
+	if p.done != nil {
+		p.done()
+	}
+}
+
+// fail ends the query with a typed degraded-mode error: no results, no
+// stats, never a partial answer. The single-user chain still advances
+// so one dead drive does not stall the rest of the workload.
+func (p *queryProc) fail(err error) {
+	if p.failed {
+		return
+	}
+	p.failed = true
+	p.out.Err = err
+	p.out.Completion = p.sys.sim.Now()
+	p.out.Response = p.out.Completion - p.out.Arrival
 	if p.done != nil {
 		p.done()
 	}
@@ -406,11 +503,20 @@ func (s *System) Run(w Workload) (RunResult, error) {
 
 	var res RunResult
 	res.Outcomes = outcomes
+	succeeded := 0
 	for i := range outcomes {
 		o := &outcomes[i]
+		if o.Err != nil {
+			res.Failed++
+			if o.Completion > res.Makespan {
+				res.Makespan = o.Completion
+			}
+			continue
+		}
 		if o.Stats == nil {
 			return res, fmt.Errorf("simarray: query %d never completed", i)
 		}
+		succeeded++
 		res.MeanResponse += o.Response
 		if o.Response > res.MaxResponse {
 			res.MaxResponse = o.Response
@@ -419,7 +525,9 @@ func (s *System) Run(w Workload) (RunResult, error) {
 			res.Makespan = o.Completion
 		}
 	}
-	res.MeanResponse /= float64(len(outcomes))
+	if succeeded > 0 {
+		res.MeanResponse /= float64(succeeded)
+	}
 
 	horizon := res.Makespan
 	if horizon <= 0 {

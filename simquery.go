@@ -57,6 +57,19 @@ type (
 	// engine: counters, per-disk gauges with the declustering balance
 	// ratio, and latency histograms — see Engine.Snapshot.
 	EngineSnapshot = core.EngineSnapshot
+	// InvalidQueryError reports a malformed k-NN query (k <= 0, nil
+	// point, dimensionality mismatch), rejected identically by every
+	// execution path.
+	InvalidQueryError = core.InvalidQueryError
+	// FaultInjector deterministically injects drive failures and
+	// latency spikes into the engine's replica reads — see
+	// EngineConfig.Fault.
+	FaultInjector = core.FaultInjector
+	// DriveFaults is one drive's fault program for a FaultInjector.
+	DriveFaults = core.DriveFaults
+	// ErrDataUnavailable is the typed degraded-mode error: a page had
+	// no live replica, so the query failed rather than answer wrongly.
+	ErrDataUnavailable = core.ErrDataUnavailable
 )
 
 // NewIndex creates an empty disk-array similarity index.
@@ -65,3 +78,7 @@ func NewIndex(cfg IndexConfig) (*Index, error) { return core.NewIndex(cfg) }
 // Algorithms lists the built-in k-NN algorithm names: bbss, fpss, crss,
 // woptss and the eps-series baseline.
 func Algorithms() []string { return core.Algorithms() }
+
+// NewFaultInjector creates a deterministic fault injector for
+// EngineConfig.Fault; drives are keyed disk*Mirrors+mirror.
+func NewFaultInjector(seed int64) *FaultInjector { return core.NewFaultInjector(seed) }
