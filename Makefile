@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Duration per fuzz target in the `fuzz` smoke target.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet analyze test race lint bench fuzz chaos chaos-full full
+.PHONY: all build vet analyze test race lint bench bench-json bench-check fuzz chaos chaos-full full
 
 all: build vet analyze test
 
@@ -42,9 +42,37 @@ lint:
 		$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	staticcheck ./...
 
-## bench: benchmark smoke — every benchmark once (the nightly job).
+## bench: benchmark smoke — every benchmark once. This is the single
+## definition of the smoke invocation; both the nightly CI job and the
+## `full` target run it through this target rather than repeating the
+## command line.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+## bench-json: run the tracked benchmark set (vectorized kernels vs
+## scalar reference, candidate filtering, end-to-end k-NN pages/query)
+## at a fixed iteration count with the deterministic in-repo seeds, and
+## render the output as a schema-versioned JSON report via cmd/benchjson.
+## BENCH_JSON_OUT defaults to BENCH_<utc-date>.json in the repo root.
+BENCH_JSON_TIME  ?= 20000x
+BENCH_JSON_COUNT ?= 5
+BENCH_JSON_OUT   ?= BENCH_$(shell date -u +%F).json
+BENCH_BASELINE   ?= BENCH_2026-08-08.json
+BENCH_JSON_SET    = 'BenchmarkKernels|BenchmarkKNN|BenchmarkMakeCandidates'
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench $(BENCH_JSON_SET) -benchtime=$(BENCH_JSON_TIME) \
+		-count=$(BENCH_JSON_COUNT) -benchmem . ./internal/query/ | tee bin/bench.out
+	bin/benchjson parse -o $(BENCH_JSON_OUT) bin/bench.out
+	@echo "wrote $(BENCH_JSON_OUT)"
+
+## bench-check: benchstat-style comparison of the current report against
+## the committed seed baseline. Warns (GitHub annotations under Actions)
+## above a 10% ns/op regression; never fails the build — CI-runner noise
+## must not gate merges.
+bench-check:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	bin/benchjson compare -threshold 10 $(BENCH_BASELINE) $(BENCH_JSON_OUT)
 
 ## fuzz: run each fuzz target for FUZZTIME (committed seed corpora under
 ## testdata/fuzz already run during plain `go test`).
@@ -71,7 +99,7 @@ full:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos-full
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(MAKE) bench
 	OBS_OVERHEAD=1 $(GO) test -run TestObservedOverhead -v .
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput/engine-workers=10x2$$|BenchmarkEngineObserved' -benchtime 2s .
 	$(MAKE) fuzz FUZZTIME=10s

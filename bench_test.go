@@ -143,6 +143,79 @@ func BenchmarkGeomMinMaxDist(b *testing.B) {
 	}
 }
 
+// BenchmarkKernels compares the scalar distance kernels against the
+// batch kernels over one node-sized batch of rectangles (the per-page
+// entry capacity at each dimensionality — the exact shape of the
+// candidate-filtering pass). The bench-json CI job records both series;
+// cmd/benchjson derives the batch/scalar speedup per metric and
+// dimension from the matching name pairs.
+func BenchmarkKernels(b *testing.B) {
+	rnd := rand.New(rand.NewSource(benchSeed))
+	for _, dim := range []int{2, 3, 4, 8} {
+		n := pagestore.Codec{Dim: dim, PageSize: 4096}.Capacity()
+		p := make(geom.Point, dim)
+		for a := range p {
+			p[a] = rnd.Float64()
+		}
+		rects := make([]geom.Rect, n)
+		soa := geom.MakeRectSoA(dim, n)
+		for i := range rects {
+			lo := make(geom.Point, dim)
+			hi := make(geom.Point, dim)
+			for a := 0; a < dim; a++ {
+				lo[a] = rnd.Float64() * 0.5
+				hi[a] = lo[a] + rnd.Float64()*0.5
+				soa.Lo[a][i] = lo[a]
+				soa.Hi[a][i] = hi[a]
+			}
+			rects[i] = geom.Rect{Lo: lo, Hi: hi}
+		}
+		out := make([]float64, n)
+		kernels := []struct {
+			name   string
+			scalar func()
+			batch  func()
+		}{
+			{"dmin",
+				func() {
+					for j := range rects {
+						out[j] = geom.MinDistSq(p, rects[j])
+					}
+				},
+				func() { geom.MinDistSqBatch(p, &soa, out) }},
+			{"dmm",
+				func() {
+					for j := range rects {
+						out[j] = geom.MinMaxDistSq(p, rects[j])
+					}
+				},
+				func() { geom.MinMaxDistSqBatch(p, &soa, out) }},
+			{"dmax",
+				func() {
+					for j := range rects {
+						out[j] = geom.MaxDistSq(p, rects[j])
+					}
+				},
+				func() { geom.MaxDistSqBatch(p, &soa, out) }},
+		}
+		for _, k := range kernels {
+			k := k
+			b.Run(fmt.Sprintf("scalar/%s/d=%d", k.name, dim), func(b *testing.B) {
+				b.ReportMetric(float64(n), "entries/batch")
+				for i := 0; i < b.N; i++ {
+					k.scalar()
+				}
+			})
+			b.Run(fmt.Sprintf("batch/%s/d=%d", k.name, dim), func(b *testing.B) {
+				b.ReportMetric(float64(n), "entries/batch")
+				for i := 0; i < b.N; i++ {
+					k.batch()
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkRStarInsert2D(b *testing.B) {
 	pts := dataset.Uniform(b.N, 2, 1)
 	tr, err := rtree.New(rtree.Config{Dim: 2, MaxEntries: 92}, nil)
@@ -198,12 +271,14 @@ func benchKNN(b *testing.B, alg query.Algorithm, k int) {
 	knnSetup(b)
 	d := query.Driver{Tree: knnTree}
 	b.ResetTimer()
-	var visited int
+	var visited, pages int
 	for i := 0; i < b.N; i++ {
 		_, stats := d.Run(alg, knnQueries[i%len(knnQueries)], k, query.Options{})
 		visited += stats.NodesVisited
+		pages += stats.DiskAccesses
 	}
 	b.ReportMetric(float64(visited)/float64(b.N), "nodes/query")
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
 }
 
 func BenchmarkKNNBBSS(b *testing.B)   { benchKNN(b, query.BBSS{}, 10) }

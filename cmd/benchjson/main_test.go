@@ -1,0 +1,135 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkKernels/scalar/dmin/d=2-8         	    3000	       450.0 ns/op	        92.00 entries/batch
+BenchmarkKernels/scalar/dmin/d=2-8         	    3000	       470.0 ns/op	        92.00 entries/batch
+BenchmarkKernels/batch/dmin/d=2-8          	    3000	       230.0 ns/op	        92.00 entries/batch
+BenchmarkKernels/batch/dmin/d=2-8          	    3000	       230.0 ns/op	        92.00 entries/batch
+BenchmarkKNNBBSS-8                         	    1000	     91000 ns/op	        42.50 pages/query	    2048 B/op	      12 allocs/op
+PASS
+ok  	repro	2.034s
+pkg: repro/internal/query
+BenchmarkMakeCandidates/batch/d=2/fanout=92/spheres=false-8   	   10000	      1200 ns/op
+BenchmarkMakeCandidates/scalar/d=2/fanout=92/spheres=false-8  	   10000	      4800 ns/op
+PASS
+ok  	repro/internal/query	1.002s
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := parseBench(strings.Split(sampleOutput, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseHeaderAndAveraging(t *testing.T) {
+	rep := parseSample(t)
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %s/%s/%s", rep.GOOS, rep.GOARCH, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	var scalar *Benchmark
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == "BenchmarkKernels/scalar/dmin/d=2" {
+			scalar = &rep.Benchmarks[i]
+		}
+	}
+	if scalar == nil {
+		t.Fatal("scalar dmin benchmark not found (procs suffix not stripped?)")
+	}
+	if scalar.Samples != 2 || scalar.NsPerOp != 460.0 || scalar.Procs != 8 {
+		t.Errorf("averaging: samples=%d ns=%g procs=%d, want 2/460/8",
+			scalar.Samples, scalar.NsPerOp, scalar.Procs)
+	}
+	if scalar.Package != "repro" {
+		t.Errorf("package = %q", scalar.Package)
+	}
+	if scalar.Metrics["entries/batch"] != 92 {
+		t.Errorf("custom metric entries/batch = %g", scalar.Metrics["entries/batch"])
+	}
+}
+
+func TestMedianDiscardsSpike(t *testing.T) {
+	// A descheduled CI sample (3x slower) must not move the report.
+	rep, err := parseBench([]string{
+		"BenchmarkX-8 100 100 ns/op",
+		"BenchmarkX-8 100 102 ns/op",
+		"BenchmarkX-8 100 300 ns/op",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Benchmarks[0].NsPerOp; got != 102 {
+		t.Errorf("median ns/op = %g, want 102", got)
+	}
+}
+
+func TestParseBenchmemAndCustomMetrics(t *testing.T) {
+	rep := parseSample(t)
+	for _, b := range rep.Benchmarks {
+		if b.Name != "BenchmarkKNNBBSS" {
+			continue
+		}
+		if b.BytesPerOp == nil || *b.BytesPerOp != 2048 {
+			t.Errorf("bytes/op = %v", b.BytesPerOp)
+		}
+		if b.AllocsPerOp == nil || *b.AllocsPerOp != 12 {
+			t.Errorf("allocs/op = %v", b.AllocsPerOp)
+		}
+		if b.Metrics["pages/query"] != 42.5 {
+			t.Errorf("pages/query = %g", b.Metrics["pages/query"])
+		}
+		return
+	}
+	t.Fatal("BenchmarkKNNBBSS not parsed")
+}
+
+func TestSpeedupPairing(t *testing.T) {
+	rep := parseSample(t)
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("derived %d speedups, want 2: %+v", len(rep.Speedups), rep.Speedups)
+	}
+	// Sorted by name: BenchmarkKernels/... before BenchmarkMakeCandidates/...
+	k := rep.Speedups[0]
+	if k.Name != "BenchmarkKernels/dmin/d=2" {
+		t.Errorf("pair name = %q", k.Name)
+	}
+	if k.Speedup != 2.0 {
+		t.Errorf("kernel speedup = %g, want 2.0 (460/230)", k.Speedup)
+	}
+	mc := rep.Speedups[1]
+	if mc.Name != "BenchmarkMakeCandidates/d=2/fanout=92/spheres=false" || mc.Speedup != 4.0 {
+		t.Errorf("candidates pair = %+v", mc)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parseBench([]string{"PASS", "ok  repro  1s"}); err == nil {
+		t.Error("want error for input without benchmark lines")
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	rep, err := parseBench([]string{
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkOK-8 100 12.5 ns/op",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Errorf("benchmarks = %+v", rep.Benchmarks)
+	}
+}

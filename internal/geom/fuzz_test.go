@@ -66,6 +66,18 @@ func FuzzGeomMetrics(f *testing.F) {
 			t.Fatalf("p=%v inside r=%v but Dmin²=%g", p, r, dmin)
 		}
 
+		// The batch kernels promise BIT-identical results to the scalar
+		// kernels — exact equality, no tolerance.
+		soa := buildSoA([]Rect{r})
+		batch := make([]float64, 3)
+		MinDistSqBatch(p, &soa, batch[0:1])
+		MinMaxDistSqBatch(p, &soa, batch[1:2])
+		MaxDistSqBatch(p, &soa, batch[2:3])
+		if !bitEq(batch[0], dmin) || !bitEq(batch[1], dmm) || !bitEq(batch[2], dmax) {
+			t.Fatalf("batch/scalar divergence: batch=(%g,%g,%g) scalar=(%g,%g,%g) for p=%v r=%v",
+				batch[0], batch[1], batch[2], dmin, dmm, dmax, p, r)
+		}
+
 		// Against the degenerate rectangle of a point, all three metrics
 		// collapse to the plain squared distance, computed from the same
 		// per-axis terms in the same order — exact equality holds.

@@ -17,6 +17,10 @@ var determinismPackages = map[string]bool{
 	"repro/internal/rtree":     true,
 	"repro/internal/decluster": true,
 	"repro/internal/geom":      true,
+	// pagestore is on the decode path that materializes rtree.FlatNode
+	// views for the batch distance kernels: codec round-trips and shadow
+	// verification feed the same bit-parity contract as geom itself.
+	"repro/internal/pagestore": true,
 }
 
 // inDeterminismScope also admits the analyzer's own golden-test

@@ -48,3 +48,32 @@ func suppressedTieBreak(a, b float64) bool {
 	}
 	return false
 }
+
+// batchKernelExactCompare mimics the struct-of-arrays batch-kernel
+// shape (internal/geom/batch.go): a per-lane loop writing one output
+// element per entry. Exact equality inside such a kernel is precisely
+// the divergence floatcmp exists to catch — the scalar and batch
+// formulations of the same distance round differently, so a lane that
+// keys behavior off == silently breaks the bit-parity contract.
+func batchKernelExactCompare(lo, hi, out []float64) {
+	for i := range out {
+		if lo[i] == hi[i] { // want "exact == comparison of floating-point values"
+			out[i] = 0
+			continue
+		}
+		out[i] = (hi[i] - lo[i]) * (hi[i] - lo[i])
+	}
+}
+
+// batchKernelOrderedCompare is the approved kernel shape: ordered
+// comparisons against a computed difference only, as the real batch
+// kernels use. Must stay clean.
+func batchKernelOrderedCompare(lo, hi, out []float64) {
+	for i := range out {
+		var c float64
+		if d := hi[i] - lo[i]; d > 0 {
+			c = d * d
+		}
+		out[i] = c
+	}
+}

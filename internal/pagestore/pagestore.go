@@ -202,6 +202,10 @@ func (c Codec) Decode(buf []byte) (*rtree.Node, error) {
 		}
 		n.Entries[i] = e
 	}
+	// Build the flat geometry view eagerly: a decoded node is about to
+	// be scanned by the batch distance kernels, and building here means
+	// the buffer pool caches the flat form along with the node.
+	n.Flat()
 	return n, nil
 }
 
@@ -278,6 +282,7 @@ func (s *PagedStore) Allocate(level int) *rtree.Node {
 // means the tree was configured with a capacity larger than the page
 // holds, a programming error surfaced as early as possible.
 func (s *PagedStore) Update(n *rtree.Node) {
+	n.InvalidateFlat()
 	buf, err := s.codec.Encode(n)
 	if err != nil {
 		panic(err)
@@ -374,7 +379,7 @@ func (s *PagedStore) VerifyShadow() error {
 				return fmt.Errorf("pagestore: page %d entry %d: shadow mismatch", id, i)
 			}
 			if s.codec.Spheres {
-				if !a.Sphere.Center.Equal(b.Sphere.Center) || a.Sphere.Radius != b.Sphere.Radius {
+				if !a.Sphere.Center.Equal(b.Sphere.Center) || a.Sphere.Radius != b.Sphere.Radius { //lint:allow floatcmp shadow check wants bitwise identity, not tolerance
 					return fmt.Errorf("pagestore: page %d entry %d: sphere shadow mismatch", id, i)
 				}
 			}

@@ -74,9 +74,9 @@ func (e *bbssExec) Step(delivered []*rtree.Node) StepResult {
 	for _, n := range delivered {
 		if n.IsLeaf() {
 			scanned += len(n.Entries)
-			for _, en := range n.Entries {
-				d := geom.MinDistSq(e.q, en.Rect)
+			for i, d := range e.leafDmin(n) {
 				if d <= e.best.kthDistSq() {
+					en := n.Entries[i]
 					e.best.offer(Neighbor{Object: en.Object, Rect: en.Rect, DistSq: d})
 				}
 			}

@@ -9,15 +9,29 @@ import (
 )
 
 // candidate is a directory entry under consideration: a child page with
-// its MBR, subtree object count and the three point-to-MBR metrics.
+// its subtree object count and the three point-to-MBR metrics.
 type candidate struct {
 	child  rtree.PageID
-	rect   geom.Rect
 	count  int
 	level  int // level of the node the entry points to
 	dminSq float64
 	dmmSq  float64
 	dmaxSq float64
+}
+
+// candScratch holds the reusable batch-kernel output buffers of one
+// makeCandidates pass, sliced out of a single allocation sized to the
+// largest node seen so far.
+type candScratch struct {
+	buf []float64
+}
+
+func (s *candScratch) views(m int) (dmin, dmm, dmax, tmp []float64) {
+	if cap(s.buf) < 4*m {
+		s.buf = make([]float64, 4*m)
+	}
+	b := s.buf[:4*m]
+	return b[0*m : 1*m], b[1*m : 2*m], b[2*m : 3*m], b[3*m : 4*m]
 }
 
 // makeCandidates converts the entries of delivered internal nodes into
@@ -31,32 +45,103 @@ type candidate struct {
 // the sphere's Dmax (a sphere guarantees every subtree object — hence
 // at least one — within it). This is the "some modifications" the paper
 // names for supporting the SR-tree family.
+//
+// The metrics are computed node-at-a-time with the batch kernels over
+// the node's flat geometry view, which is bit-identical to the scalar
+// per-entry path (makeCandidatesScalar, kept as the test reference and
+// the fallback for mixed-sphere nodes).
 func makeCandidates(q geom.Point, nodes []*rtree.Node) []candidate {
-	var out []candidate
+	total := 0
 	for _, n := range nodes {
-		for _, e := range n.Entries {
-			c := candidate{
-				child:  e.Child,
-				rect:   e.Rect,
-				count:  e.Count,
-				level:  n.Level - 1,
-				dminSq: geom.MinDistSq(q, e.Rect),
-				dmmSq:  geom.MinMaxDistSq(q, e.Rect),
-				dmaxSq: geom.MaxDistSq(q, e.Rect),
-			}
-			if e.Sphere.Valid() {
-				if sm := e.Sphere.MinDistSq(q); sm > c.dminSq {
-					c.dminSq = sm
+		total += len(n.Entries)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]candidate, 0, total)
+	var scratch candScratch
+	for _, n := range nodes {
+		m := len(n.Entries)
+		if m == 0 {
+			continue
+		}
+		f := n.Flat()
+		if f.MixedSpheres {
+			// Some but not all entries carry spheres: no SoA sphere view
+			// exists, so tighten per entry with the scalar kernels.
+			out = appendCandidatesScalar(out, q, n)
+			continue
+		}
+		dmin, dmm, dmax, tmp := scratch.views(m)
+		geom.MinDistSqBatch(q, &f.Rects, dmin)
+		geom.MinMaxDistSqBatch(q, &f.Rects, dmm)
+		geom.MaxDistSqBatch(q, &f.Rects, dmax)
+		if f.Spheres != nil {
+			geom.SphereMinDistSqBatch(q, f.Spheres, tmp)
+			for i, sm := range tmp {
+				if sm > dmin[i] {
+					dmin[i] = sm
 				}
-				if sM := e.Sphere.MaxDistSq(q); sM < c.dmaxSq {
-					c.dmaxSq = sM
-					if sM < c.dmmSq {
-						c.dmmSq = sM
+			}
+			geom.SphereMaxDistSqBatch(q, f.Spheres, tmp)
+			for i, sM := range tmp {
+				if sM < dmax[i] {
+					dmax[i] = sM
+					if sM < dmm[i] {
+						dmm[i] = sM
 					}
 				}
 			}
-			out = append(out, c)
 		}
+		for i := range n.Entries {
+			out = append(out, candidate{
+				child:  n.Entries[i].Child,
+				count:  n.Entries[i].Count,
+				level:  n.Level - 1,
+				dminSq: dmin[i],
+				dmmSq:  dmm[i],
+				dmaxSq: dmax[i],
+			})
+		}
+	}
+	return out
+}
+
+// appendCandidatesScalar is the per-entry scalar candidate pass: the
+// reference implementation the batch path is tested against, and the
+// fallback for nodes whose entries mix present and absent spheres.
+func appendCandidatesScalar(out []candidate, q geom.Point, n *rtree.Node) []candidate {
+	for _, e := range n.Entries {
+		c := candidate{
+			child:  e.Child,
+			count:  e.Count,
+			level:  n.Level - 1,
+			dminSq: geom.MinDistSq(q, e.Rect),
+			dmmSq:  geom.MinMaxDistSq(q, e.Rect),
+			dmaxSq: geom.MaxDistSq(q, e.Rect),
+		}
+		if e.Sphere.Valid() {
+			if sm := e.Sphere.MinDistSq(q); sm > c.dminSq {
+				c.dminSq = sm
+			}
+			if sM := e.Sphere.MaxDistSq(q); sM < c.dmaxSq {
+				c.dmaxSq = sM
+				if sM < c.dmmSq {
+					c.dmmSq = sM
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// makeCandidatesScalar is the all-scalar equivalent of makeCandidates,
+// kept for differential tests and benchmarks.
+func makeCandidatesScalar(q geom.Point, nodes []*rtree.Node) []candidate {
+	var out []candidate
+	for _, n := range nodes {
+		out = appendCandidatesScalar(out, q, n)
 	}
 	return out
 }

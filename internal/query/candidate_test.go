@@ -2,6 +2,7 @@ package query
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/geom"
@@ -142,6 +143,79 @@ func TestMakeCandidatesSphereTightening(t *testing.T) {
 	// Level recorded as the child's level.
 	if c.level != 0 {
 		t.Errorf("level = %d", c.level)
+	}
+}
+
+// TestMakeCandidatesBatchScalarParity checks the batch candidate pass
+// against the per-entry scalar reference, bit-for-bit, across the three
+// sphere configurations a node can have: none, all, and mixed (which
+// must take the scalar fallback).
+func TestMakeCandidatesBatchScalarParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range []int{1, 2, 3, 4, 6} {
+		for _, mode := range []string{"none", "all", "mixed"} {
+			q := make(geom.Point, dim)
+			for a := range q {
+				q[a] = rng.NormFloat64() * 50
+			}
+			var nodes []*rtree.Node
+			for nn := 0; nn < 3; nn++ {
+				n := &rtree.Node{ID: rtree.PageID(nn + 1), Level: 2}
+				for i := 0; i < 17; i++ {
+					lo := make(geom.Point, dim)
+					hi := make(geom.Point, dim)
+					for a := 0; a < dim; a++ {
+						x, y := rng.NormFloat64()*50, rng.NormFloat64()*50
+						if x > y {
+							x, y = y, x
+						}
+						lo[a], hi[a] = x, y
+					}
+					e := rtree.Entry{Rect: geom.Rect{Lo: lo, Hi: hi}, Child: rtree.PageID(100 + i), Count: 1 + rng.Intn(40)}
+					withSphere := mode == "all" || (mode == "mixed" && i%2 == 0)
+					if withSphere {
+						c := make(geom.Point, dim)
+						for a := range c {
+							c[a] = rng.NormFloat64() * 50
+						}
+						e.Sphere = geom.Sphere{Center: c, Radius: math.Abs(rng.NormFloat64() * 20)}
+					}
+					n.Entries = append(n.Entries, e)
+				}
+				nodes = append(nodes, n)
+			}
+			got := makeCandidates(q, nodes)
+			want := makeCandidatesScalar(q, nodes)
+			if len(got) != len(want) {
+				t.Fatalf("%s/d=%d: %d candidates, want %d", mode, dim, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s/d=%d: candidate %d diverged: batch %+v scalar %+v",
+						mode, dim, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMakeCandidatesInvalidation checks that mutating a node through
+// Store.Update drops its cached flat view, so a later candidate pass
+// sees the new geometry.
+func TestMakeCandidatesInvalidation(t *testing.T) {
+	st := rtree.NewMemStore()
+	n := st.Allocate(1)
+	n.Entries = append(n.Entries, rtree.Entry{
+		Rect: geom.NewRect(geom.Point{1, 1}, geom.Point{2, 2}), Child: 7, Count: 3,
+	})
+	st.Update(n)
+	q := geom.Point{0, 0}
+	before := makeCandidates(q, []*rtree.Node{n})[0].dminSq
+	n.Entries[0].Rect = geom.NewRect(geom.Point{3, 4}, geom.Point{5, 6})
+	st.Update(n)
+	after := makeCandidates(q, []*rtree.Node{n})[0].dminSq
+	if before != 2 || after != 25 {
+		t.Fatalf("dmin² before/after update = %g/%g, want 2/25", before, after)
 	}
 }
 

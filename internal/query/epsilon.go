@@ -72,8 +72,9 @@ func (e *epsExec) Step(delivered []*rtree.Node) StepResult {
 		}
 		for _, n := range delivered {
 			scanned += len(n.Entries)
-			for _, en := range n.Entries {
-				if d := geom.MinDistSq(e.q, en.Rect); d <= e.epsSq {
+			for i, d := range e.leafDmin(n) {
+				if d <= e.epsSq {
+					en := n.Entries[i]
 					e.found = append(e.found, Neighbor{Object: en.Object, Rect: en.Rect, DistSq: d})
 				}
 			}

@@ -51,9 +51,9 @@ func (e *fpssExec) Step(delivered []*rtree.Node) StepResult {
 		// list exact.
 		for _, n := range delivered {
 			scanned += len(n.Entries)
-			for _, en := range n.Entries {
-				d := geom.MinDistSq(e.q, en.Rect)
+			for i, d := range e.leafDmin(n) {
 				if d <= e.best.kthDistSq() {
+					en := n.Entries[i]
 					e.best.offer(Neighbor{Object: en.Object, Rect: en.Rect, DistSq: d})
 				}
 			}

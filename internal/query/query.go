@@ -159,6 +159,49 @@ type base struct {
 	// the QueryStart emission.
 	stage      int
 	obsStarted bool
+	// scanBuf and scanTmp are the reusable batch-kernel output buffers
+	// for entry scans (see leafDmin / entrySphereRectMin), sized to the
+	// largest node scanned so far.
+	scanBuf []float64
+	scanTmp []float64
+}
+
+// leafDmin returns Dmin²(q, entry) for every entry of the node, computed
+// with the batch kernel over the node's flat view. The returned slice is
+// the execution's scratch buffer, valid until the next scan call.
+func (b *base) leafDmin(n *rtree.Node) []float64 {
+	m := len(n.Entries)
+	if cap(b.scanBuf) < m {
+		b.scanBuf = make([]float64, m)
+	}
+	out := b.scanBuf[:m]
+	geom.MinDistSqBatch(b.q, &n.Flat().Rects, out)
+	return out
+}
+
+// entrySphereRectMin returns the intersected rect/sphere lower bound
+// SphereRectMin(q, entry) for every entry of the node. Scratch-backed
+// like leafDmin.
+func (b *base) entrySphereRectMin(n *rtree.Node) []float64 {
+	m := len(n.Entries)
+	if cap(b.scanBuf) < m {
+		b.scanBuf = make([]float64, m)
+	}
+	out := b.scanBuf[:m]
+	f := n.Flat()
+	if f.MixedSpheres {
+		// No SoA sphere view exists for mixed nodes; match the scalar
+		// per-entry semantics exactly.
+		for i, e := range n.Entries {
+			out[i] = geom.SphereRectMin(b.q, e.Rect, e.Sphere)
+		}
+		return out
+	}
+	if cap(b.scanTmp) < m {
+		b.scanTmp = make([]float64, m)
+	}
+	geom.SphereRectMinBatch(b.q, &f.Rects, f.Spheres, out, b.scanTmp[:m])
+	return out
 }
 
 func newBase(t *parallel.Tree, q geom.Point, k int, opts Options) base {

@@ -50,8 +50,9 @@ func (e *rangeExec) Step(delivered []*rtree.Node) StepResult {
 	if len(delivered) > 0 && delivered[0].IsLeaf() {
 		for _, n := range delivered {
 			scanned += len(n.Entries)
-			for _, en := range n.Entries {
-				if d := geom.SphereRectMin(e.q, en.Rect, en.Sphere); d <= e.epsSq {
+			for i, d := range e.entrySphereRectMin(n) {
+				if d <= e.epsSq {
+					en := n.Entries[i]
 					e.found = append(e.found, Neighbor{Object: en.Object, Rect: en.Rect, DistSq: d})
 				}
 			}
@@ -62,9 +63,9 @@ func (e *rangeExec) Step(delivered []*rtree.Node) StepResult {
 	var reqs []PageRequest
 	for _, n := range delivered {
 		scanned += len(n.Entries)
-		for _, en := range n.Entries {
-			if geom.SphereRectMin(e.q, en.Rect, en.Sphere) <= e.epsSq {
-				reqs = append(reqs, e.request(en.Child, n.Level-1))
+		for i, d := range e.entrySphereRectMin(n) {
+			if d <= e.epsSq {
+				reqs = append(reqs, e.request(n.Entries[i].Child, n.Level-1))
 			}
 		}
 	}

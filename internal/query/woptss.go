@@ -62,8 +62,9 @@ func (e *woptssExec) Step(delivered []*rtree.Node) StepResult {
 	if len(delivered) > 0 && delivered[0].IsLeaf() {
 		for _, n := range delivered {
 			scanned += len(n.Entries)
-			for _, en := range n.Entries {
-				if d := geom.MinDistSq(e.q, en.Rect); d <= e.dkSq {
+			for i, d := range e.leafDmin(n) {
+				if d <= e.dkSq {
+					en := n.Entries[i]
 					e.best.offer(Neighbor{Object: en.Object, Rect: en.Rect, DistSq: d})
 				}
 			}
@@ -78,9 +79,9 @@ func (e *woptssExec) Step(delivered []*rtree.Node) StepResult {
 	var reqs []PageRequest
 	for _, n := range delivered {
 		scanned += len(n.Entries)
-		for _, en := range n.Entries {
-			if geom.SphereRectMin(e.q, en.Rect, en.Sphere) <= e.dkSq {
-				reqs = append(reqs, e.request(en.Child, n.Level-1))
+		for i, d := range e.entrySphereRectMin(n) {
+			if d <= e.dkSq {
+				reqs = append(reqs, e.request(n.Entries[i].Child, n.Level-1))
 			}
 		}
 	}

@@ -1,0 +1,89 @@
+package rtree
+
+import (
+	"repro/internal/geom"
+)
+
+// FlatNode is the struct-of-arrays view of a node's geometry, the input
+// format of the batch distance kernels in package geom: entry i's MBR
+// spans Rects.Lo[a][i]..Rects.Hi[a][i] on axis a. Identity data (child
+// pages, object IDs, counts) stays in Node.Entries — the flat form
+// carries only what the candidate-filtering passes compute on, packed
+// into one contiguous allocation per node.
+//
+// A FlatNode is immutable once built. It is built lazily by Node.Flat
+// on the live-node paths (immediate driver, simulator) and eagerly at
+// page-decode time by pagestore.Codec (the concurrent engine's read
+// path), so the buffer pool caches the flat form along with the node.
+type FlatNode struct {
+	// Rects is the SoA view of every entry's MBR.
+	Rects geom.RectSoA
+	// Spheres is non-nil iff every entry carries a valid bounding
+	// sphere (the SR-tree layout guarantees this for encoded nodes; see
+	// pagestore.Codec.Encode). When nil, entries have no spheres.
+	Spheres *geom.SphereSoA
+	// MixedSpheres is true when some but not all entries carry spheres
+	// — impossible for codec-encoded nodes but reachable with hand-built
+	// ones. Consumers must fall back to the per-entry scalar path so the
+	// sphere tightening stays bit-identical with the scalar semantics.
+	MixedSpheres bool
+}
+
+// BuildFlat constructs the flat view of a node. The node's entries must
+// share one dimensionality (a tree invariant).
+func BuildFlat(n *Node) *FlatNode {
+	m := len(n.Entries)
+	f := &FlatNode{}
+	if m == 0 {
+		return f
+	}
+	dim := n.Entries[0].Rect.Dim()
+	f.Rects = geom.MakeRectSoA(dim, m)
+	withSphere := 0
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		for a := 0; a < dim; a++ {
+			f.Rects.Lo[a][i] = e.Rect.Lo[a]
+			f.Rects.Hi[a][i] = e.Rect.Hi[a]
+		}
+		if e.Sphere.Valid() {
+			withSphere++
+		}
+	}
+	switch withSphere {
+	case 0:
+	case m:
+		s := geom.MakeSphereSoA(dim, m)
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			for a := 0; a < dim; a++ {
+				s.Center[a][i] = e.Sphere.Center[a]
+			}
+			s.Radius[i] = e.Sphere.Radius
+		}
+		f.Spheres = &s
+	default:
+		f.MixedSpheres = true
+	}
+	return f
+}
+
+// Flat returns the node's flat geometry view, building and caching it on
+// first use. The cache is dropped whenever the node is mutated (every
+// structural mutation flows through Store.Update or removeEntry).
+// Concurrent first calls may build duplicate views; that race is benign
+// — the views are identical and the last store wins — which is what the
+// engine's shared resident supernodes rely on.
+func (n *Node) Flat() *FlatNode {
+	if f := n.flat.Load(); f != nil {
+		return f
+	}
+	f := BuildFlat(n)
+	n.flat.Store(f)
+	return f
+}
+
+// InvalidateFlat drops the cached flat view after a mutation. Store
+// implementations call it from Update; in-place entry edits that bypass
+// Update must call it directly.
+func (n *Node) InvalidateFlat() { n.flat.Store(nil) }

@@ -15,6 +15,7 @@ package rtree
 import (
 	"fmt"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -59,6 +60,12 @@ type Node struct {
 	ID      PageID
 	Level   int
 	Entries []Entry
+
+	// flat caches the struct-of-arrays geometry view consumed by the
+	// batch distance kernels; see Flat/InvalidateFlat in flat.go. The
+	// atomic pointer makes lazy builds safe from concurrent readers
+	// (the engine shares resident supernodes across query goroutines).
+	flat atomic.Pointer[FlatNode]
 }
 
 // IsLeaf reports whether the node is at the leaf level.
@@ -111,6 +118,7 @@ func (n *Node) entryIndex(child PageID) int {
 // removeEntry deletes the entry at index i, preserving order of the rest.
 func (n *Node) removeEntry(i int) {
 	n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+	n.InvalidateFlat()
 }
 
 // Store provides node storage. Implementations must return the same
@@ -209,9 +217,10 @@ func (s *MemStore) Allocate(level int) *Node {
 	return n
 }
 
-// Update implements Store. For the in-memory store this is a no-op since
-// callers mutate the node in place.
-func (s *MemStore) Update(*Node) {}
+// Update implements Store. Callers mutate the node in place, so the
+// in-memory store has nothing to persist — but the mutation invalidates
+// the node's cached flat geometry view.
+func (s *MemStore) Update(n *Node) { n.InvalidateFlat() }
 
 // Free implements Store.
 func (s *MemStore) Free(id PageID) { delete(s.nodes, id) }

@@ -48,13 +48,19 @@ func (t *Tree) SearchRect(query geom.Rect, visit func(Match) bool) (matches []Ma
 func (t *Tree) SearchSphere(center geom.Point, eps float64, visit func(Match) bool) (matches []Match, nodesAccessed int) {
 	epsSq := eps * eps
 	stack := []PageID{t.root}
+	var dmin []float64
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		n := t.store.Get(id)
 		nodesAccessed++
-		for _, e := range n.Entries {
-			if geom.MinDistSq(center, e.Rect) > epsSq {
+		if cap(dmin) < len(n.Entries) {
+			dmin = make([]float64, len(n.Entries))
+		}
+		d := dmin[:len(n.Entries)]
+		geom.MinDistSqBatch(center, &n.Flat().Rects, d)
+		for i, e := range n.Entries {
+			if d[i] > epsSq {
 				continue
 			}
 			if n.IsLeaf() {
@@ -113,6 +119,7 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]Neighbor, int) {
 	var frontier nnHeap
 	heap.Push(&frontier, nnHeapItem{distSq: 0, isNode: true, page: t.root})
 	var out []Neighbor
+	var dmin []float64
 	nodes := 0
 	for frontier.Len() > 0 && len(out) < k {
 		it := heap.Pop(&frontier).(nnHeapItem)
@@ -122,12 +129,16 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]Neighbor, int) {
 		}
 		n := t.store.Get(it.page)
 		nodes++
-		for _, e := range n.Entries {
-			d := geom.MinDistSq(q, e.Rect)
+		if cap(dmin) < len(n.Entries) {
+			dmin = make([]float64, len(n.Entries))
+		}
+		d := dmin[:len(n.Entries)]
+		geom.MinDistSqBatch(q, &n.Flat().Rects, d)
+		for i, e := range n.Entries {
 			if n.IsLeaf() {
-				heap.Push(&frontier, nnHeapItem{distSq: d, match: Match{Rect: e.Rect, Object: e.Object}})
+				heap.Push(&frontier, nnHeapItem{distSq: d[i], match: Match{Rect: e.Rect, Object: e.Object}})
 			} else {
-				heap.Push(&frontier, nnHeapItem{distSq: d, isNode: true, page: e.Child})
+				heap.Push(&frontier, nnHeapItem{distSq: d[i], isNode: true, page: e.Child})
 			}
 		}
 	}
