@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Duration per fuzz target in the `fuzz` smoke target.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet analyze test race lint bench bench-json bench-check fuzz chaos chaos-full full
+.PHONY: all build vet analyze test race lint bench bench-json bench-check fuzz chaos chaos-full crash crash-full full
 
 all: build vet analyze test
 
@@ -78,6 +78,7 @@ bench-check:
 ## testdata/fuzz already run during plain `go test`).
 fuzz:
 	$(GO) test -fuzz=FuzzPageCodec -fuzztime=$(FUZZTIME) ./internal/pagestore/
+	$(GO) test -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./internal/pagestore/
 	$(GO) test -fuzz=FuzzGeomMetrics -fuzztime=$(FUZZTIME) ./internal/geom/
 	$(GO) test -fuzz=FuzzRTreeOps -fuzztime=$(FUZZTIME) ./internal/rtree/
 
@@ -92,6 +93,19 @@ chaos:
 chaos-full:
 	$(GO) test -race -run $(CHAOS_RUN) ./internal/fault/ ./internal/exec/ ./internal/simarray/ ./internal/query/
 
+## crash: the crash-recovery torture suite under the race detector —
+## kill the durable store at programmed fsyncs, reboot from exactly the
+## bytes that were durable, and require a consistent committed tree,
+## plus the WAL / superblock / durable-store unit tests around it.
+## Short mode samples the kill points (the PR CI job); `crash-full`
+## kills at every sync point in the schedule (the nightly job).
+CRASH_RUN = 'CrashRecovery|DurableStore|FileStore|FileBacked|IndexDurable|WAL'
+crash:
+	$(GO) test -race -short -run $(CRASH_RUN) ./internal/pagestore/ ./internal/exec/ ./internal/core/
+
+crash-full:
+	$(GO) test -race -run $(CRASH_RUN) ./internal/pagestore/ ./internal/exec/ ./internal/core/
+
 ## full: everything the manually-dispatched nightly job runs.
 ## govulncheck needs network access to the vuln DB, so it is skipped
 ## (with a notice) when the pinned binary cannot be installed.
@@ -99,6 +113,7 @@ full:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos-full
+	$(MAKE) crash-full
 	$(MAKE) bench
 	OBS_OVERHEAD=1 $(GO) test -run TestObservedOverhead -v .
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput/engine-workers=10x2$$|BenchmarkEngineObserved' -benchtime 2s .

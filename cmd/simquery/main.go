@@ -18,6 +18,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +48,12 @@ func main() {
 		engine = flag.Bool("engine", false, "also run the query on the real concurrent engine and print its latency snapshot")
 		obsFl  = flag.String("obs", "", "serve expvar and pprof debug endpoints on this address (e.g. 127.0.0.1:6060)")
 
+		// Persistent storage: back the index (and the engine's replicas)
+		// with real files instead of memory.
+		storeFl = flag.String("store", "mem", "page store: mem (volatile) or file (disk-backed with WAL crash recovery)")
+		dataDir = flag.String("data-dir", "", "directory for -store=file; an existing committed tree is recovered instead of rebuilt")
+		mmapFl  = flag.Bool("mmap", false, "with -store=file: serve page reads from a read-only file mapping")
+
 		// Fault injection (engine mode): replicate the page stores and
 		// inject deterministic drive failures into the read path.
 		mirrors   = flag.Int("mirrors", 1, "physical replicas per engine disk (RAID-1 shadowing when > 1)")
@@ -74,17 +81,45 @@ func main() {
 	}
 	d := pts[0].Dim()
 
-	ix, err := core.NewIndex(core.IndexConfig{
+	icfg := core.IndexConfig{
 		Dim: d, NumDisks: *disks, Policy: *policy, Seed: *seed, UseSpheres: *sr,
-	})
+	}
+	switch *storeFl {
+	case "mem":
+	case "file":
+		if *dataDir == "" {
+			log.Fatal("-store=file requires -data-dir")
+		}
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		icfg.DataDir = *dataDir
+		icfg.Mmap = *mmapFl
+	default:
+		log.Fatalf("unknown -store %q (want mem or file)", *storeFl)
+	}
+	ix, err := core.NewIndex(icfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ix.InsertAll(pts, 0); err != nil {
-		log.Fatal(err)
+	defer ix.Close()
+	if rec := ix.Recovered(); rec > 0 {
+		fmt.Printf("recovered %d committed points from %s\n", rec, *dataDir)
+	} else {
+		if err := ix.InsertAll(pts, 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := ix.Commit(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("indexed %d points (%d-d) on %d disks, policy %s, %d pages\n",
 		ix.Len(), d, *disks, *policy, ix.Tree().Store().Len())
+	if icfg.DataDir != "" {
+		s := ix.StorageStats()
+		fmt.Printf("durable store: %d page writes, %d WAL appends (%d syncs), %d records replayed in %d recoveries\n",
+			s.PageWrites, s.WALAppends, s.WALSyncs, s.ReplayedRecords, s.Recoveries)
+	}
 
 	var q geom.Point
 	if *qspec != "" {
@@ -135,6 +170,15 @@ func main() {
 
 	if *engine {
 		cfg := core.EngineConfig{Mirrors: *mirrors, HedgeReads: *hedge}
+		if icfg.DataDir != "" {
+			// File mode extends to the engine: every replica gets its own
+			// on-disk page file under <data-dir>/replicas.
+			cfg.DataDir = filepath.Join(*dataDir, "replicas")
+			cfg.Mmap = *mmapFl
+			if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
 		injecting := *failDrive >= 0 || *faultP > 0 || *spikeP > 0
 		if injecting {
 			inj := core.NewFaultInjector(*faultSeed)

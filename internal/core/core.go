@@ -19,6 +19,8 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/pagestore"
 	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rtree"
@@ -77,6 +79,17 @@ type IndexConfig struct {
 	// entries additionally carry centroid bounding spheres (tighter
 	// pruning in high dimensionality, smaller fanout).
 	UseSpheres bool
+	// DataDir, when non-empty, makes the index durable: tree pages live
+	// in a disk-backed page store under this directory, with a
+	// write-ahead log providing crash recovery. Mutations stage in
+	// memory until Commit; a directory already holding a committed tree
+	// is recovered instead of starting empty (Recovered reports the
+	// restored object count). The geometry (Dim, PageSize, UseSpheres)
+	// must match the directory's. Close releases the files.
+	DataDir string
+	// Mmap serves durable-store page reads from a read-only file
+	// mapping where possible (DataDir mode only).
+	Mmap bool
 }
 
 // Index is a similarity-search index distributed over a simulated disk
@@ -87,9 +100,15 @@ type Index struct {
 	cfg  IndexConfig
 	mu   sync.RWMutex
 	tree *parallel.Tree
+
+	// Durable backing (DataDir mode); nil for a memory index.
+	store     *pagestore.DurableStore
+	storage   obs.StorageCounters
+	recovered int // objects restored from DataDir at open
 }
 
-// NewIndex creates an empty index.
+// NewIndex creates an index: empty and volatile by default, or durable
+// (and possibly recovered from a previous run) with IndexConfig.DataDir.
 func NewIndex(cfg IndexConfig) (*Index, error) {
 	if cfg.PageSize == 0 {
 		cfg.PageSize = 4096
@@ -104,7 +123,7 @@ func NewIndex(cfg IndexConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := parallel.New(parallel.Config{
+	pcfg := parallel.Config{
 		Dim:        cfg.Dim,
 		NumDisks:   cfg.NumDisks,
 		Cylinders:  disk.HPC2200A().Cylinders,
@@ -112,11 +131,81 @@ func NewIndex(cfg IndexConfig) (*Index, error) {
 		Policy:     pol,
 		Seed:       cfg.Seed,
 		UseSpheres: cfg.UseSpheres,
-	})
+	}
+	ix := &Index{cfg: cfg}
+	if cfg.DataDir != "" {
+		codec := pagestore.Codec{Dim: cfg.Dim, PageSize: cfg.PageSize, Spheres: cfg.UseSpheres}
+		ds, err := pagestore.OpenDurable(cfg.DataDir, codec, pagestore.DurableOptions{
+			Mmap: cfg.Mmap, Counters: &ix.storage,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.store = ds
+		if meta := ds.Meta(); meta.Size > 0 {
+			// The directory holds a committed tree: adopt it instead of
+			// starting empty.
+			ix.tree, err = parallel.Adopt(pcfg, ds, meta.Root, meta.Size)
+			ix.recovered = meta.Size
+		} else {
+			pcfg.Store = ds
+			ix.tree, err = parallel.New(pcfg)
+		}
+		if err != nil {
+			ds.Close()
+			return nil, err
+		}
+		return ix, nil
+	}
+	ix.tree, err = parallel.New(pcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{cfg: cfg, tree: t}, nil
+	return ix, nil
+}
+
+// Recovered reports how many objects were restored from DataDir when
+// the index was opened (0 for a fresh or memory-backed index).
+func (ix *Index) Recovered() int { return ix.recovered }
+
+// Commit makes every staged mutation durable: the dirty pages and the
+// new tree root go through the write-ahead log with one sync, after
+// which a crash recovers exactly this state. No-op for a memory index.
+func (ix *Index) Commit() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.store == nil {
+		return nil
+	}
+	return ix.store.Commit(ix.tree.Root(), ix.tree.Len())
+}
+
+// Checkpoint folds committed WAL state into the data file and truncates
+// the log, bounding recovery time. No-op for a memory index.
+func (ix *Index) Checkpoint() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.store == nil {
+		return nil
+	}
+	return ix.store.Checkpoint()
+}
+
+// StorageStats returns the durable store's cumulative I/O counters
+// (all zero for a memory index).
+func (ix *Index) StorageStats() obs.StorageSnapshot { return ix.storage.Snapshot() }
+
+// Close releases the durable store's files without committing staged
+// mutations (call Commit first to keep them). No-op for a memory index.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.store == nil {
+		return nil
+	}
+	err := ix.store.Close()
+	ix.store = nil
+	return err
 }
 
 // Insert adds a point object to the index.

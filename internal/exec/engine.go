@@ -20,6 +20,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +90,19 @@ type Config struct {
 	// the replica-read latency histogram has enough samples for a
 	// meaningful p99 (default 1ms).
 	HedgeDelayFloor time.Duration
+	// DataDir, when non-empty, backs every replica with a real
+	// file-backed page store (one file per disk×mirror, created under
+	// DataDir at construction, closed by Close) instead of in-memory
+	// page images. Reads then go through page-aligned pread — or mmap
+	// with Mmap — so injected faults coexist with genuine I/O errors: a
+	// truncated replica file yields a real short read the degraded-mode
+	// path must survive. Nodes too large for one page (X-tree
+	// supernodes) stay memory-resident in either mode.
+	DataDir string
+	// Mmap selects the mmap read path for file-backed replicas; it is
+	// ignored without DataDir (and silently falls back to pread on
+	// platforms without mmap support).
+	Mmap bool
 }
 
 func (c *Config) fill() {
@@ -174,6 +189,23 @@ func (s *diskStore) ReadPage(id rtree.PageID) (*rtree.Node, error) {
 	return nil, fmt.Errorf("exec: page %d not stored on this disk", id)
 }
 
+// fileReplica is one replica's file-backed read path: page-aligned
+// pread (or mmap) against the replica's own file, with memory-resident
+// fallback for nodes that do not fit one page. Both maps are immutable
+// after construction; FileStore handles its own locking.
+type fileReplica struct {
+	fs       *pagestore.FileStore
+	resident map[rtree.PageID]*rtree.Node
+}
+
+// ReadPage implements pagestore.Reader.
+func (r *fileReplica) ReadPage(id rtree.PageID) (*rtree.Node, error) {
+	if n, ok := r.resident[id]; ok {
+		return n, nil
+	}
+	return r.fs.ReadPage(id)
+}
+
 // replica is one physical copy of a logical disk's page store, with
 // its own health state. All replicas of a disk share the encoded page
 // content; they differ in the (possibly fault-injected) reader and in
@@ -215,7 +247,8 @@ type Engine struct {
 	tree     *parallel.Tree
 	cfg      Config
 	stores   []*diskStore
-	replicas [][]*replica // [logical disk][mirror]
+	replicas [][]*replica           // [logical disk][mirror]
+	files    []*pagestore.FileStore // file-backed replica stores (DataDir mode), closed by Close
 	queues   []chan *fetchJob
 	sem      chan struct{} // in-flight fetch slots
 	cache    *bufferpool.Sharded[rtree.PageID, *rtree.Node]
@@ -237,11 +270,12 @@ type Engine struct {
 	// histograms, always on (single atomic ops on the hot path).
 	gauges   []obs.DiskGauges
 	faults   obs.FaultCounters
-	queryLat *obs.Histogram // successful KNN calls, end to end
-	fetchLat *obs.Histogram // per page fetch: queue wait + service
-	readLat  *obs.Histogram // per successful replica read (service only); feeds the hedge delay
-	stageLat *obs.Histogram // per stage batch: submit to last arrival
-	semWait  *obs.Histogram // per stage: total in-flight-slot wait
+	storage  obs.StorageCounters // file-backed replica I/O (DataDir mode)
+	queryLat *obs.Histogram      // successful KNN calls, end to end
+	fetchLat *obs.Histogram      // per page fetch: queue wait + service
+	readLat  *obs.Histogram      // per successful replica read (service only); feeds the hedge delay
+	stageLat *obs.Histogram      // per stage batch: submit to last arrival
+	semWait  *obs.Histogram      // per stage: total in-flight-slot wait
 }
 
 // New builds an engine over a tree: every live page is encoded into its
@@ -298,11 +332,17 @@ func New(t *parallel.Tree, cfg Config) (*Engine, error) {
 		return nil, buildErr
 	}
 	// RAID-1 replica set: mirrors share the disk's encoded content but
-	// carry independent fault programs and health state.
+	// carry independent fault programs and health state. In DataDir
+	// mode each replica additionally owns its own on-disk copy, so a
+	// fault on one physical file never corrupts its mirror.
 	for d := 0; d < n; d++ {
 		e.replicas[d] = make([]*replica, cfg.Mirrors)
 		for m := 0; m < cfg.Mirrors; m++ {
-			var rd pagestore.Reader = e.stores[d]
+			rd, err := e.buildReplicaReader(d, m, codec)
+			if err != nil {
+				e.closeFiles()
+				return nil, err
+			}
 			if cfg.Fault != nil {
 				rd = cfg.Fault.Reader(d*cfg.Mirrors+m, rd)
 			}
@@ -322,6 +362,55 @@ func New(t *parallel.Tree, cfg Config) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// ReplicaFileName is the file holding one replica's page store under
+// Config.DataDir. Exposed so tests and tools can reach the real file
+// (e.g. to truncate it and provoke a genuine short read).
+func ReplicaFileName(disk, mirror int) string {
+	return fmt.Sprintf("drive-%02d-%d.pages", disk, mirror)
+}
+
+// buildReplicaReader returns one replica's base (pre-fault-injection)
+// read path. Without DataDir that is the disk's in-memory page images;
+// with DataDir the disk's pages are materialized into the replica's own
+// file and reads go through real file I/O.
+func (e *Engine) buildReplicaReader(d, m int, codec pagestore.Codec) (pagestore.Reader, error) {
+	if e.cfg.DataDir == "" {
+		return e.stores[d], nil
+	}
+	path := filepath.Join(e.cfg.DataDir, ReplicaFileName(d, m))
+	fs, err := pagestore.OpenFileStore(path, codec, pagestore.FileStoreOptions{
+		Mmap:     e.cfg.Mmap,
+		Counters: &e.storage,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exec: replica %d/%d store: %w", d, m, err)
+	}
+	e.files = append(e.files, fs)
+	st := e.stores[d]
+	ids := make([]rtree.PageID, 0, len(st.pages))
+	for id := range st.pages {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids) // deterministic file layout regardless of map order
+	for _, id := range ids {
+		if err := fs.WriteImage(id, st.pages[id]); err != nil {
+			return nil, fmt.Errorf("exec: replica %d/%d page %d: %w", d, m, id, err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, fmt.Errorf("exec: replica %d/%d sync: %w", d, m, err)
+	}
+	return &fileReplica{fs: fs, resident: st.resident}, nil
+}
+
+// closeFiles closes the file-backed replica stores (DataDir mode).
+func (e *Engine) closeFiles() {
+	for _, fs := range e.files {
+		fs.Close()
+	}
+	e.files = nil
 }
 
 // NumWorkers returns the total number of disk worker goroutines.
@@ -561,17 +650,28 @@ func (e *Engine) hedgeDelay() time.Duration {
 // capped exponential backoff. A success resets the replica's
 // consecutive-failure count; crossing Config.DegradeAfter (or a
 // fail-stop error) marks the replica degraded and returns immediately
-// so the caller redirects to a mirror.
+// so the caller redirects to a mirror. A decoded node whose id differs
+// from the requested page — a misdirected read the reader underneath
+// failed to catch — is converted to a typed integrity failure here and
+// treated exactly like any other failed I/O, so a lying replica can
+// never leak a wrong node into a query.
 func (e *Engine) readReplica(ctx context.Context, rep *replica, id rtree.PageID) (*rtree.Node, error) {
 	backoff := e.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		begin := time.Now()
 		n, err := rep.reader.ReadPage(id)
+		if err == nil && n.ID != id {
+			err = &pagestore.IntegrityError{Want: id, Got: n.ID}
+		}
 		if err == nil {
 			rep.consecFails.Store(0)
 			e.decodes.Add(1)
 			e.readLat.Observe(time.Since(begin).Seconds())
 			return n, nil
+		}
+		var ie *pagestore.IntegrityError
+		if errors.As(err, &ie) {
+			e.faults.IntegrityFailures.Add(1)
 		}
 		dead := errors.Is(err, fault.ErrDiskDead)
 		if fails := rep.consecFails.Add(1); dead || fails >= int64(e.cfg.DegradeAfter) {
@@ -775,4 +875,5 @@ func (e *Engine) Close() {
 		close(q)
 	}
 	e.workers.Wait()
+	e.closeFiles()
 }

@@ -26,7 +26,10 @@ type Snapshot struct {
 	Faults obs.FaultSnapshot
 	// Degraded mirrors Engine.ReplicaHealth: per logical disk and
 	// mirror, whether the replica is currently skipped by reads.
-	Degraded     [][]bool
+	Degraded [][]bool
+	// Storage is the file-backed replica I/O telemetry (page reads and
+	// writes, data syncs); all-zero without Config.DataDir.
+	Storage      obs.StorageSnapshot
 	QueryLatency obs.HistSnapshot
 	FetchLatency obs.HistSnapshot
 	// ReadLatency is the per-replica-read service time (successful
@@ -47,6 +50,7 @@ func (e *Engine) Snapshot() Snapshot {
 		Disks:        make([]obs.DiskSnapshot, len(e.gauges)),
 		Faults:       e.faults.Snapshot(),
 		Degraded:     e.ReplicaHealth(),
+		Storage:      e.storage.Snapshot(),
 		QueryLatency: e.queryLat.Snapshot(),
 		FetchLatency: e.fetchLat.Snapshot(),
 		ReadLatency:  e.readLat.Snapshot(),
@@ -72,6 +76,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Disks:        make([]obs.DiskSnapshot, len(s.Disks)),
 		Faults:       s.Faults.Sub(prev.Faults),
 		Degraded:     s.Degraded, // instantaneous: keep the later view
+		Storage:      s.Storage.Sub(prev.Storage),
 		QueryLatency: s.QueryLatency.Sub(prev.QueryLatency),
 		FetchLatency: s.FetchLatency.Sub(prev.FetchLatency),
 		ReadLatency:  s.ReadLatency.Sub(prev.ReadLatency),

@@ -70,14 +70,24 @@ type Faults struct {
 	// spike of SpikeDelay (the I/O still succeeds, just late).
 	SpikeProb  float64
 	SpikeDelay time.Duration
+	// MisdirectOn, when positive, misdirects the drive's MisdirectOn-th
+	// I/O: the drive "succeeds" but serves a different page than the one
+	// asked for (the previously requested page, or the next page id when
+	// there is no history). The data that comes back is well-formed —
+	// only the read path's identity check (decoded node id vs requested
+	// id) can catch it, which is exactly what the misdirected-read
+	// regression tests assert.
+	MisdirectOn int
 }
 
 // driveState is one drive's mutable injection state.
 type driveState struct {
-	faults Faults
-	rng    *rand.Rand // per-drive stream: fate depends only on the drive's own I/O ordinal
-	ios    uint64     // I/Os decided so far (including failed ones)
-	dead   bool
+	faults   Faults
+	rng      *rand.Rand // per-drive stream: fate depends only on the drive's own I/O ordinal
+	ios      uint64     // I/Os decided so far (including failed ones)
+	dead     bool
+	lastPage rtree.PageID // most recently requested page; misdirection target
+	hasLast  bool
 }
 
 // Injector decides the fate of each I/O deterministically from its
@@ -135,6 +145,20 @@ func (in *Injector) IOs(id int) uint64 {
 // latency (to be paid before the read) and the error, if any. A nil
 // error means the I/O succeeds after the returned delay.
 func (in *Injector) Check(id int) (time.Duration, error) {
+	delay, _, err := in.checkRead(id, 0, false)
+	return delay, err
+}
+
+// CheckRead is Check for page reads: it additionally decides which page
+// the drive actually serves. readPage equals page except on a
+// misdirected I/O, where the drive successfully returns the wrong page
+// — the caller must perform the read against readPage and let the read
+// path's identity check discover the substitution.
+func (in *Injector) CheckRead(id int, page rtree.PageID) (time.Duration, rtree.PageID, error) {
+	return in.checkRead(id, page, true)
+}
+
+func (in *Injector) checkRead(id int, page rtree.PageID, isRead bool) (time.Duration, rtree.PageID, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	st := in.drive(id)
@@ -143,7 +167,7 @@ func (in *Injector) Check(id int) (time.Duration, error) {
 		st.dead = true
 	}
 	if st.dead {
-		return 0, ErrDiskDead
+		return 0, page, ErrDiskDead
 	}
 	var delay time.Duration
 	// One draw per configured mode keeps each drive's fate sequence a
@@ -152,9 +176,21 @@ func (in *Injector) Check(id int) (time.Duration, error) {
 		delay = st.faults.SpikeDelay
 	}
 	if st.faults.Transient > 0 && st.rng.Float64() < st.faults.Transient {
-		return delay, ErrTransient
+		return delay, page, ErrTransient
 	}
-	return delay, nil
+	readPage := page
+	if isRead {
+		if st.faults.MisdirectOn > 0 && st.ios == uint64(st.faults.MisdirectOn) {
+			if st.hasLast && st.lastPage != page {
+				readPage = st.lastPage
+			} else {
+				readPage = page + 1
+			}
+		}
+		st.lastPage = page
+		st.hasLast = true
+	}
+	return delay, readPage, nil
 }
 
 // readerFunc adapts a function to pagestore.Reader.
@@ -164,16 +200,28 @@ func (f readerFunc) ReadPage(id rtree.PageID) (*rtree.Node, error) { return f(id
 
 // Reader wraps a page reader with this injector's program for one
 // drive: every ReadPage first pays the injected latency, then either
-// fails with the injected error or delegates to the underlying reader.
+// fails with the injected error or delegates to the underlying reader —
+// possibly against a different page, when the injector misdirects the
+// I/O. The wrapper enforces the Reader contract on what comes back: a
+// decoded node whose id differs from the requested page (however that
+// happened — injection or a real store bug underneath) surfaces as a
+// typed *pagestore.IntegrityError, never as a silently wrong node.
 func (in *Injector) Reader(id int, r pagestore.Reader) pagestore.Reader {
 	return readerFunc(func(page rtree.PageID) (*rtree.Node, error) {
-		delay, err := in.Check(id)
+		delay, readPage, err := in.CheckRead(id, page)
 		if delay > 0 {
 			time.Sleep(delay)
 		}
 		if err != nil {
 			return nil, err
 		}
-		return r.ReadPage(page)
+		n, err := r.ReadPage(readPage)
+		if err != nil {
+			return nil, err
+		}
+		if n.ID != page {
+			return nil, &pagestore.IntegrityError{Want: page, Got: n.ID}
+		}
+		return n, nil
 	})
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/geom"
+	"repro/internal/pagestore"
 	"repro/internal/rtree"
 )
 
@@ -207,5 +209,58 @@ func TestErrDataUnavailable(t *testing.T) {
 	}
 	if msg := (&ErrDataUnavailable{Disk: 0, Page: 1}).Error(); msg == "" {
 		t.Fatal("empty error message without Last")
+	}
+}
+
+// TestInjectorMisdirectedRead is the satellite-1 regression: a drive
+// that serves a well-formed page from the wrong address must surface as
+// a typed *pagestore.IntegrityError through the injected Reader, never
+// as a silently wrong node.
+func TestInjectorMisdirectedRead(t *testing.T) {
+	ps := pagestore.NewPagedStore(4096, 2)
+	a := ps.Allocate(0)
+	a.Entries = append(a.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{1, 1}), 1))
+	ps.Update(a)
+	b := ps.Allocate(0)
+	b.Entries = append(b.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{2, 2}), 2))
+	ps.Update(b)
+
+	in := NewInjector(1)
+	in.Set(0, Faults{MisdirectOn: 2})
+	r := in.Reader(0, ps)
+
+	n, err := r.ReadPage(a.ID)
+	if err != nil || n.ID != a.ID {
+		t.Fatalf("first read: n=%v err=%v", n, err)
+	}
+	// Second I/O is misdirected: the drive serves the previously read
+	// page (a) instead of b.
+	_, err = r.ReadPage(b.ID)
+	var ie *pagestore.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("misdirected read: err = %v, want *pagestore.IntegrityError", err)
+	}
+	if ie.Want != b.ID || ie.Got != a.ID {
+		t.Errorf("IntegrityError = %+v, want Want=%d Got=%d", ie, b.ID, a.ID)
+	}
+	// Subsequent I/Os are healthy again.
+	if n, err := r.ReadPage(b.ID); err != nil || n.ID != b.ID {
+		t.Errorf("read after misdirection: n=%v err=%v", n, err)
+	}
+}
+
+// A misdirected first I/O has no history to serve; the injector targets
+// the next page id, which may not even exist — an error either way,
+// never the wrong node.
+func TestInjectorMisdirectFirstIO(t *testing.T) {
+	ps := pagestore.NewPagedStore(4096, 2)
+	a := ps.Allocate(0)
+	a.Entries = append(a.Entries, rtree.LeafEntry(geom.PointRect(geom.Point{1, 1}), 1))
+	ps.Update(a)
+	in := NewInjector(2)
+	in.Set(0, Faults{MisdirectOn: 1})
+	n, err := in.Reader(0, ps).ReadPage(a.ID)
+	if err == nil {
+		t.Fatalf("misdirected first read succeeded with node %d", n.ID)
 	}
 }

@@ -18,6 +18,10 @@ type FaultCounters struct {
 	Hedges atomic.Uint64
 	// HedgeWins counts hedged reads whose mirror answered first.
 	HedgeWins atomic.Uint64
+	// IntegrityFailures counts replica reads that returned a
+	// well-formed page other than the one asked for (a misdirected
+	// read caught by the read path's node-id identity check).
+	IntegrityFailures atomic.Uint64
 	// DisksDegraded is the number of replicas currently marked
 	// degraded (skipped by reads) — a gauge, not a cumulative counter.
 	DisksDegraded atomic.Int64
@@ -26,31 +30,34 @@ type FaultCounters struct {
 // Snapshot freezes the fault counters.
 func (c *FaultCounters) Snapshot() FaultSnapshot {
 	return FaultSnapshot{
-		Retries:       c.Retries.Load(),
-		Redirects:     c.Redirects.Load(),
-		Hedges:        c.Hedges.Load(),
-		HedgeWins:     c.HedgeWins.Load(),
-		DisksDegraded: c.DisksDegraded.Load(),
+		Retries:           c.Retries.Load(),
+		Redirects:         c.Redirects.Load(),
+		Hedges:            c.Hedges.Load(),
+		HedgeWins:         c.HedgeWins.Load(),
+		IntegrityFailures: c.IntegrityFailures.Load(),
+		DisksDegraded:     c.DisksDegraded.Load(),
 	}
 }
 
 // FaultSnapshot is a point-in-time copy of a FaultCounters.
 type FaultSnapshot struct {
-	Retries       uint64
-	Redirects     uint64
-	Hedges        uint64
-	HedgeWins     uint64
-	DisksDegraded int64
+	Retries           uint64
+	Redirects         uint64
+	Hedges            uint64
+	HedgeWins         uint64
+	IntegrityFailures uint64
+	DisksDegraded     int64
 }
 
 // Sub diffs two snapshots: counters subtract, the degraded-disk gauge
 // keeps the later value.
 func (s FaultSnapshot) Sub(prev FaultSnapshot) FaultSnapshot {
 	return FaultSnapshot{
-		Retries:       s.Retries - prev.Retries,
-		Redirects:     s.Redirects - prev.Redirects,
-		Hedges:        s.Hedges - prev.Hedges,
-		HedgeWins:     s.HedgeWins - prev.HedgeWins,
-		DisksDegraded: s.DisksDegraded,
+		Retries:           s.Retries - prev.Retries,
+		Redirects:         s.Redirects - prev.Redirects,
+		Hedges:            s.Hedges - prev.Hedges,
+		HedgeWins:         s.HedgeWins - prev.HedgeWins,
+		IntegrityFailures: s.IntegrityFailures - prev.IntegrityFailures,
+		DisksDegraded:     s.DisksDegraded,
 	}
 }

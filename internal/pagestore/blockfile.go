@@ -1,0 +1,41 @@
+package pagestore
+
+import (
+	"io"
+	"os"
+)
+
+// BlockFile is the raw-file seam under FileStore and the WAL. The
+// production implementation is a thin *os.File wrapper; the
+// crash-recovery torture tests substitute a file that buffers writes
+// until Sync and can be killed mid-operation, which is how every
+// "crash at sync point k" schedule is injected without touching the
+// store logic itself.
+type BlockFile interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync makes all previous writes durable (fsync).
+	Sync() error
+	// Truncate discards everything past size.
+	Truncate(size int64) error
+	// Size reports the current file length.
+	Size() (int64, error)
+	Close() error
+}
+
+// osBlockFile adapts *os.File to BlockFile.
+type osBlockFile struct{ f *os.File }
+
+func (o osBlockFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osBlockFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o osBlockFile) Sync() error                              { return o.f.Sync() }
+func (o osBlockFile) Truncate(size int64) error                { return o.f.Truncate(size) }
+func (o osBlockFile) Close() error                             { return o.f.Close() }
+
+func (o osBlockFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,584 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"slices"
+	"sync"
+
+	"repro/internal/bufferpool"
+	"repro/internal/obs"
+	"repro/internal/rtree"
+)
+
+// DurableStore is the crash-safe rtree.Store: a decoded working set in
+// memory, a FileStore holding the checkpointed pages, and a WAL holding
+// everything committed since. Mutations (Allocate/Update/Free) stage in
+// memory; Commit makes a batch durable (WAL append + one fsync) and
+// publishes it to readers as a new epoch; Checkpoint folds the
+// committed state into the data file and resets the WAL.
+//
+// Epoch isolation: readers obtain an immutable *EpochView via Snapshot
+// and read a frozen page set — a tree mid-split never shows readers a
+// torn parent/child pair, because splits only become visible at the
+// Commit that publishes both halves atomically. Once an epoch has been
+// handed to a reader its page map is never mutated again; the next
+// Commit copies it (copy-on-write at commit granularity).
+//
+// Recovery: OpenDurable loads the checkpointed pages, then replays the
+// WAL's committed batches in LSN order (redo only — every record is
+// idempotent, so replaying after a crash mid-checkpoint is safe), and
+// truncates whatever follows the last commit record.
+type DurableStore struct {
+	codec    Codec
+	fs       *FileStore
+	wal      *WAL
+	counters *obs.StorageCounters
+
+	mu         sync.RWMutex
+	nodes      map[rtree.PageID]*rtree.Node // decoded working set; guarded by mu
+	dirty      map[rtree.PageID][]byte      // staged images since last Commit; guarded by mu
+	freedStage map[rtree.PageID]bool        // staged frees since last Commit; guarded by mu
+	cur        *storeEpoch                  // committed state; guarded by mu
+	ckptDirty  map[rtree.PageID]bool        // committed but not yet checkpointed; guarded by mu
+	ckptFreed  map[rtree.PageID]bool        // freed since last checkpoint; guarded by mu
+	nextID     rtree.PageID                 // guarded by mu
+}
+
+// storeEpoch is one committed, immutable-once-shared version of the
+// page set. pinned flips to true the first time a reader snapshots it;
+// from then on Commit clones instead of mutating.
+type storeEpoch struct {
+	pages  map[rtree.PageID][]byte
+	root   rtree.PageID
+	size   int
+	pinned bool
+}
+
+// DurableOptions configures OpenDurable. The zero value is valid.
+type DurableOptions struct {
+	// Mmap enables the FileStore's mapped read path.
+	Mmap bool
+	// Counters, when non-nil, receives all storage telemetry.
+	Counters *obs.StorageCounters
+}
+
+// Standard file names inside a DurableStore directory.
+const (
+	DataFileName = "pages.db"
+	WALFileName  = "wal.log"
+)
+
+// OpenDurable opens (creating if absent) the store rooted at dir,
+// running crash recovery if the WAL holds committed batches.
+func OpenDurable(dir string, codec Codec, opts DurableOptions) (*DurableStore, error) {
+	fs, err := OpenFileStore(filepath.Join(dir, DataFileName), codec, FileStoreOptions{
+		Mmap: opts.Mmap, Counters: opts.Counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, entries, err := openWAL(filepath.Join(dir, WALFileName), codec.PageSize, opts.Counters)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	s, err := newDurable(fs, w, entries, opts.Counters)
+	if err != nil {
+		w.Close()
+		fs.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenDurableOn assembles a store over caller-supplied block files —
+// the dependency-injection seam the crash-recovery torture tests use to
+// run the full commit/checkpoint/recover protocol against in-memory
+// files that tear their writes at programmed sync points. No mmap
+// (that needs a real OS file).
+func OpenDurableOn(data, wal BlockFile, codec Codec, opts DurableOptions) (*DurableStore, error) {
+	fs, err := NewFileStoreOn(data, codec, FileStoreOptions{Counters: opts.Counters})
+	if err != nil {
+		return nil, err
+	}
+	w, entries, err := newWAL(wal, codec.PageSize, opts.Counters)
+	if err != nil {
+		return nil, err
+	}
+	return newDurable(fs, w, entries, opts.Counters)
+}
+
+// newDurable assembles the store and performs WAL replay (the crash
+// tests call it directly over in-memory crash files).
+func newDurable(fs *FileStore, w *WAL, entries []walEntry, counters *obs.StorageCounters) (*DurableStore, error) {
+	pages, err := fs.LoadPages()
+	if err != nil {
+		return nil, err
+	}
+	meta := fs.Meta()
+	nextID := meta.NextID
+	if nextID < 1 {
+		nextID = 1
+	}
+	s := &DurableStore{
+		codec:    fs.Codec(),
+		fs:       fs,
+		wal:      w,
+		counters: counters,
+		nodes:    make(map[rtree.PageID]*rtree.Node),
+		dirty:    make(map[rtree.PageID][]byte),
+
+		freedStage: make(map[rtree.PageID]bool),
+		ckptDirty:  make(map[rtree.PageID]bool),
+		ckptFreed:  make(map[rtree.PageID]bool),
+		cur:        &storeEpoch{pages: pages, root: meta.Root, size: meta.Size},
+		nextID:     nextID,
+	}
+	if err := s.replay(entries); err != nil {
+		return nil, err
+	}
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// materialize decodes the recovered page set into the working-set node
+// map, with the misdirected-read identity check on every slot.
+func (s *DurableStore) materialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]rtree.PageID, 0, len(s.cur.pages))
+	for id := range s.cur.pages {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		n, err := s.codec.Decode(s.cur.pages[id])
+		if err != nil {
+			return fmt.Errorf("pagestore: recovering page %d: %w", id, err)
+		}
+		if n.ID != id {
+			return &IntegrityError{Want: id, Got: n.ID}
+		}
+		s.nodes[id] = n
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	// A committed tree whose root was still an empty fresh node has no
+	// root image; synthesize the empty node so rtree.Restore can walk.
+	if s.cur.root != 0 {
+		if _, ok := s.nodes[s.cur.root]; !ok && s.cur.size == 0 {
+			s.nodes[s.cur.root] = &rtree.Node{ID: s.cur.root}
+		}
+	}
+	return nil
+}
+
+// replay applies the WAL's committed batches to the base page set and
+// truncates the log past the last commit record. Runs at open, before
+// the store is shared; it takes the lock anyway to keep the locking
+// discipline uniform.
+func (s *DurableStore) replay(entries []walEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counters != nil {
+		s.counters.Recoveries.Add(1)
+	}
+	staged := make(map[rtree.PageID][]byte)
+	var stagedIDs []rtree.PageID // insertion order: replay preserves LSN order
+	freed := make(map[rtree.PageID]bool)
+	var freedIDs []rtree.PageID
+	lastCommit := -1
+	for i, e := range entries {
+		rec := e.rec
+		switch rec.Type {
+		case WALPage:
+			if len(rec.Payload) != 8+s.codec.PageSize {
+				return fmt.Errorf("pagestore: WAL page record lsn %d: payload %d bytes, want %d",
+					rec.LSN, len(rec.Payload), 8+s.codec.PageSize)
+			}
+			id := rtree.PageID(binary.LittleEndian.Uint64(rec.Payload))
+			if _, ok := staged[id]; !ok {
+				stagedIDs = append(stagedIDs, id)
+			}
+			staged[id] = rec.Payload[8:]
+			delete(freed, id)
+		case WALFree:
+			if len(rec.Payload) != 8 {
+				return fmt.Errorf("pagestore: WAL free record lsn %d: payload %d bytes, want 8",
+					rec.LSN, len(rec.Payload))
+			}
+			id := rtree.PageID(binary.LittleEndian.Uint64(rec.Payload))
+			if !freed[id] {
+				freedIDs = append(freedIDs, id)
+			}
+			freed[id] = true
+			delete(staged, id)
+		case WALCommit:
+			if len(rec.Payload) != 24 {
+				return fmt.Errorf("pagestore: WAL commit record lsn %d: payload %d bytes, want 24",
+					rec.LSN, len(rec.Payload))
+			}
+			for _, id := range stagedIDs {
+				img, ok := staged[id]
+				if !ok {
+					continue // freed later in the same batch
+				}
+				s.cur.pages[id] = img
+				s.ckptDirty[id] = true
+				delete(s.ckptFreed, id)
+			}
+			for _, id := range freedIDs {
+				if !freed[id] {
+					continue // re-written later in the same batch
+				}
+				delete(s.cur.pages, id)
+				delete(s.ckptDirty, id)
+				s.ckptFreed[id] = true
+			}
+			s.cur.root = rtree.PageID(binary.LittleEndian.Uint64(rec.Payload[0:]))
+			s.cur.size = int(binary.LittleEndian.Uint64(rec.Payload[8:]))
+			s.nextID = rtree.PageID(binary.LittleEndian.Uint64(rec.Payload[16:]))
+			staged = make(map[rtree.PageID][]byte)
+			stagedIDs = stagedIDs[:0]
+			freed = make(map[rtree.PageID]bool)
+			freedIDs = freedIDs[:0]
+			lastCommit = i
+		}
+		if s.counters != nil {
+			s.counters.ReplayedRecords.Add(1)
+		}
+	}
+	// Drop everything after the last commit: those records belong to a
+	// batch whose commit never became durable.
+	if lastCommit < len(entries)-1 {
+		end := int64(walHeaderSize)
+		nextLSN := uint64(1)
+		if lastCommit >= 0 {
+			end = entries[lastCommit].end
+			nextLSN = entries[lastCommit].rec.LSN + 1
+		}
+		if err := s.wal.rewind(end, nextLSN); err != nil {
+			return fmt.Errorf("pagestore: rewinding WAL past last commit: %w", err)
+		}
+	}
+	return nil
+}
+
+// Codec returns the store's codec.
+func (s *DurableStore) Codec() Codec { return s.codec }
+
+// Get implements rtree.Store.
+func (s *DurableStore) Get(id rtree.PageID) *rtree.Node {
+	s.mu.RLock()
+	n, ok := s.nodes[id]
+	s.mu.RUnlock()
+	if !ok {
+		panic(fmt.Sprintf("pagestore: unknown page %d", id))
+	}
+	return n
+}
+
+// Allocate implements rtree.Store.
+func (s *DurableStore) Allocate(level int) *rtree.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &rtree.Node{ID: s.nextID, Level: level}
+	s.nextID++
+	s.nodes[n.ID] = n
+	return n
+}
+
+// Update implements rtree.Store: the node re-encodes into a staged
+// image that the next Commit logs and publishes. Encoding failure
+// panics (capacity misconfiguration, a programming error).
+func (s *DurableStore) Update(n *rtree.Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n.InvalidateFlat()
+	buf, err := s.codec.Encode(n)
+	if err != nil {
+		panic(err)
+	}
+	s.dirty[n.ID] = buf
+	delete(s.freedStage, n.ID)
+}
+
+// Free implements rtree.Store.
+func (s *DurableStore) Free(id rtree.PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.nodes, id)
+	delete(s.dirty, id)
+	s.freedStage[id] = true
+}
+
+// Len implements rtree.Store.
+func (s *DurableStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
+
+// Commit makes every staged mutation durable and visible: page and
+// free records append to the WAL in sorted page order, a commit record
+// carrying the tree metadata terminates the batch, one WAL fsync makes
+// it the new durable state, and the staged images publish as a fresh
+// reader epoch. root and size are the tree's post-batch metadata
+// (tree.Root(), tree.Len()).
+func (s *DurableStore) Commit(root rtree.PageID, size int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The root must always have a durable image, or recovery cannot
+	// rebuild the tree. A fresh empty root never saw Update — encode it
+	// on the spot.
+	if root != 0 {
+		_, inDirty := s.dirty[root]
+		_, inEpoch := s.cur.pages[root]
+		if !inDirty && !inEpoch {
+			if n, ok := s.nodes[root]; ok {
+				buf, err := s.codec.Encode(n)
+				if err != nil {
+					return err
+				}
+				s.dirty[root] = buf
+			}
+		}
+	}
+	dirtyIDs := make([]rtree.PageID, 0, len(s.dirty))
+	for id := range s.dirty {
+		dirtyIDs = append(dirtyIDs, id)
+	}
+	slices.Sort(dirtyIDs)
+	freedIDs := make([]rtree.PageID, 0, len(s.freedStage))
+	for id := range s.freedStage {
+		freedIDs = append(freedIDs, id)
+	}
+	slices.Sort(freedIDs)
+
+	for _, id := range dirtyIDs {
+		if err := s.wal.Append(WALPage, PageRecordPayload(id, s.dirty[id])); err != nil {
+			return err
+		}
+	}
+	for _, id := range freedIDs {
+		if err := s.wal.Append(WALFree, FreeRecordPayload(id)); err != nil {
+			return err
+		}
+	}
+	if err := s.wal.Append(WALCommit, CommitRecordPayload(root, size, s.nextID)); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+
+	// Durable; now publish. If a reader pinned the current epoch, copy
+	// it — their view must stay frozen.
+	target := s.cur
+	if target.pinned {
+		clone := make(map[rtree.PageID][]byte, len(target.pages))
+		for id, img := range target.pages {
+			clone[id] = img
+		}
+		target = &storeEpoch{pages: clone}
+		s.cur = target
+	}
+	for _, id := range dirtyIDs {
+		target.pages[id] = s.dirty[id]
+		s.ckptDirty[id] = true
+		delete(s.ckptFreed, id)
+	}
+	for _, id := range freedIDs {
+		delete(target.pages, id)
+		delete(s.ckptDirty, id)
+		s.ckptFreed[id] = true
+	}
+	target.root = root
+	target.size = size
+	s.dirty = make(map[rtree.PageID][]byte)
+	s.freedStage = make(map[rtree.PageID]bool)
+	return nil
+}
+
+// Checkpoint folds every committed-since-last-checkpoint page into the
+// data file, zeroes freed slots, persists the tree metadata, fsyncs,
+// and resets the WAL. Crash-safe at any point: until the WAL reset the
+// log still holds every batch, and redo replay over an arbitrarily
+// partial checkpoint converges to the same state (records are
+// idempotent page images).
+func (s *DurableStore) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]rtree.PageID, 0, len(s.ckptDirty))
+	for id := range s.ckptDirty {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		img, ok := s.cur.pages[id]
+		if !ok {
+			continue
+		}
+		if err := s.fs.WriteImage(id, img); err != nil {
+			return err
+		}
+	}
+	freed := make([]rtree.PageID, 0, len(s.ckptFreed))
+	for id := range s.ckptFreed {
+		freed = append(freed, id)
+	}
+	slices.Sort(freed)
+	for _, id := range freed {
+		if err := s.fs.ZeroPage(id); err != nil {
+			return err
+		}
+	}
+	if err := s.fs.Sync(); err != nil {
+		return err
+	}
+	if err := s.fs.WriteMeta(FileMeta{Root: s.cur.root, Size: s.cur.size, NextID: s.nextID}); err != nil {
+		return err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return err
+	}
+	if err := s.wal.Reset(); err != nil {
+		return err
+	}
+	s.ckptDirty = make(map[rtree.PageID]bool)
+	s.ckptFreed = make(map[rtree.PageID]bool)
+	if s.counters != nil {
+		s.counters.Checkpoints.Add(1)
+	}
+	return nil
+}
+
+// Meta returns the committed tree metadata (what recovery would
+// restore right now).
+func (s *DurableStore) Meta() FileMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return FileMeta{Root: s.cur.root, Size: s.cur.size, NextID: s.nextID}
+}
+
+// Snapshot pins the current committed epoch and returns an immutable
+// reader over it. The view stays valid (and frozen) across any number
+// of later Commits; it costs the next Commit one page-map copy.
+func (s *DurableStore) Snapshot() *EpochView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.pinned = true
+	return &EpochView{codec: s.codec, epoch: s.cur}
+}
+
+// ReadPage implements Reader against the committed epoch: uncommitted
+// staged pages are invisible, exactly like a reader that snapshotted
+// this instant.
+func (s *DurableStore) ReadPage(id rtree.PageID) (*rtree.Node, error) {
+	s.mu.RLock()
+	buf, ok := s.cur.pages[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pagestore: page %d not in committed epoch", id)
+	}
+	return decodeChecked(s.codec, id, buf)
+}
+
+// VerifyShadow checks every working-set node against its most recent
+// encoded image (staged if present, else committed), bitwise.
+func (s *DurableStore) VerifyShadow() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, n := range s.nodes {
+		buf, ok := s.dirty[id]
+		if !ok {
+			buf, ok = s.cur.pages[id]
+		}
+		if !ok {
+			if len(n.Entries) != 0 {
+				return fmt.Errorf("pagestore: page %d has entries but no encoded image", id)
+			}
+			continue
+		}
+		if err := verifyShadowNode(s.codec, n, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes the WAL and the data file. It does not commit or
+// checkpoint — callers decide what the final durable state is.
+func (s *DurableStore) Close() error {
+	err := s.wal.Close()
+	if err2 := s.fs.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// decodeChecked decodes an image and enforces the misdirected-read
+// identity check.
+func decodeChecked(codec Codec, id rtree.PageID, buf []byte) (*rtree.Node, error) {
+	n, err := codec.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: page %d: %w", id, err)
+	}
+	if n.ID != id {
+		return nil, &IntegrityError{Want: id, Got: n.ID}
+	}
+	return n, nil
+}
+
+// EpochView is an immutable reader over one committed epoch. Safe for
+// concurrent use; decoded nodes are optionally cached (WithCache).
+type EpochView struct {
+	codec Codec
+	epoch *storeEpoch
+	cache *bufferpool.Sharded[rtree.PageID, *rtree.Node]
+}
+
+// WithCache attaches a decoded-page cache (singleflight LRU) to the
+// view and returns it. Each view owns its cache: page ids are not
+// stable keys across epochs.
+func (v *EpochView) WithCache(capacity, shards int) *EpochView {
+	v.cache = bufferpool.NewSharded[rtree.PageID, *rtree.Node](capacity, shards, func(id rtree.PageID) uint64 {
+		return uint64(id) * 0x9E3779B97F4A7C15
+	})
+	return v
+}
+
+// Root returns the epoch's root page.
+func (v *EpochView) Root() rtree.PageID { return v.epoch.root }
+
+// Size returns the epoch's object count.
+func (v *EpochView) Size() int { return v.epoch.size }
+
+// Pages returns the number of pages in the epoch.
+func (v *EpochView) Pages() int { return len(v.epoch.pages) }
+
+// ReadPage implements Reader over the frozen page set.
+func (v *EpochView) ReadPage(id rtree.PageID) (*rtree.Node, error) {
+	if v.cache != nil {
+		return v.cache.GetOrFetch(id, func() (*rtree.Node, error) {
+			return v.decode(id)
+		})
+	}
+	return v.decode(id)
+}
+
+func (v *EpochView) decode(id rtree.PageID) (*rtree.Node, error) {
+	buf, ok := v.epoch.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("pagestore: page %d not in epoch", id)
+	}
+	return decodeChecked(v.codec, id, buf)
+}

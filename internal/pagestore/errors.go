@@ -1,0 +1,24 @@
+package pagestore
+
+import (
+	"fmt"
+
+	"repro/internal/rtree"
+)
+
+// IntegrityError reports a misdirected read: a structurally valid page
+// was decoded, but its self-declared ID is not the page that was asked
+// for. This is the disk-array failure mode the paper's mirrored
+// declustering tolerates — a drive (or a buggy cache layer) serving a
+// well-formed page from the wrong address. Read paths surface it as a
+// typed error so callers can distinguish "wrong data" from "no data"
+// and, with mirrors available, redirect to another replica instead of
+// silently returning the wrong subtree.
+type IntegrityError struct {
+	Want rtree.PageID // page that was requested
+	Got  rtree.PageID // page the decoded image claims to be
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("pagestore: misdirected read: asked for page %d, image is page %d", e.Want, e.Got)
+}

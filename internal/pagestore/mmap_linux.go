@@ -1,0 +1,17 @@
+//go:build linux
+
+package pagestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps length bytes of f read-only and shared: page writes
+// through the normal pwrite path are visible in the mapping, which is
+// what lets the read path serve from memory between remaps.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

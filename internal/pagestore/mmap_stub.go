@@ -1,0 +1,17 @@
+//go:build !linux
+
+package pagestore
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes FileStore fall back to pread on platforms where we
+// don't wire up memory mapping; the store behaves identically, just
+// without the mapped fast path.
+var errNoMmap = errors.New("pagestore: mmap not supported on this platform")
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(_ []byte) error { return nil }

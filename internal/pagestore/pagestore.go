@@ -139,8 +139,14 @@ func (c Codec) Encode(n *rtree.Node) ([]byte, error) {
 	return buf, nil
 }
 
-// Decode reconstructs a node from a page image.
+// Decode reconstructs a node from a page image. The image must be
+// exactly one page: a short buffer is a torn read, and a long one is a
+// misdirected or overlapping read — both are integrity faults, not
+// layouts to tolerate (trailing garbage used to be silently accepted).
 func (c Codec) Decode(buf []byte) (*rtree.Node, error) {
+	if len(buf) != c.PageSize {
+		return nil, fmt.Errorf("pagestore: page image is %d bytes, want page size %d", len(buf), c.PageSize)
+	}
 	if len(buf) < headerSize {
 		return nil, fmt.Errorf("pagestore: page too short: %d bytes", len(buf))
 	}
@@ -282,13 +288,16 @@ func (s *PagedStore) Allocate(level int) *rtree.Node {
 // means the tree was configured with a capacity larger than the page
 // holds, a programming error surfaced as early as possible.
 func (s *PagedStore) Update(n *rtree.Node) {
+	// Invalidate and encode under the write lock: a split rewrites the
+	// node's entries in place, and concurrent ReadPage decoders must
+	// never observe the store mid-write-back.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n.InvalidateFlat()
 	buf, err := s.codec.Encode(n)
 	if err != nil {
 		panic(err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if old, ok := s.pages[n.ID]; ok {
 		s.bytes -= len(old)
 	}
@@ -318,7 +327,10 @@ func (s *PagedStore) Len() int {
 // ReadPage implements Reader: the page's encoded image is decoded into
 // a fresh node. Unlike Get it performs a physical decode and returns an
 // error (not a panic) for pages without an image, which is what the
-// degraded-mode read path needs.
+// degraded-mode read path needs. The decoded node's self-declared ID
+// must match the requested page: a mismatch means a misdirected read (a
+// valid page served from the wrong address) and surfaces as a typed
+// *IntegrityError instead of a silently wrong node.
 func (s *PagedStore) ReadPage(id rtree.PageID) (*rtree.Node, error) {
 	s.mu.RLock()
 	buf, ok := s.pages[id]
@@ -326,15 +338,30 @@ func (s *PagedStore) ReadPage(id rtree.PageID) (*rtree.Node, error) {
 	if !ok {
 		return nil, fmt.Errorf("pagestore: page %d has no encoded image", id)
 	}
-	return s.codec.Decode(buf)
+	n, err := s.codec.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n.ID != id {
+		return nil, &IntegrityError{Want: id, Got: n.ID}
+	}
+	return n, nil
 }
 
-// Page returns the encoded image of a page (nil when the node was never
-// updated).
+// Page returns a copy of the encoded image of a page (nil when the node
+// was never updated). Callers get their own buffer: the internal image
+// is the shadow VerifyShadow audits, and handing it out by reference
+// would let a caller corrupt the evidence.
 func (s *PagedStore) Page(id rtree.PageID) []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.pages[id]
+	buf, ok := s.pages[id]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out
 }
 
 // Encodes returns the number of write-backs performed.
@@ -366,24 +393,57 @@ func (s *PagedStore) VerifyShadow() error {
 			}
 			continue
 		}
-		dec, err := s.codec.Decode(buf)
-		if err != nil {
-			return fmt.Errorf("pagestore: page %d: %v", id, err)
+		if err := verifyShadowNode(s.codec, n, buf); err != nil {
+			return err
 		}
-		if dec.ID != n.ID || dec.Level != n.Level || len(dec.Entries) != len(n.Entries) {
-			return fmt.Errorf("pagestore: page %d: shadow header mismatch", id)
+	}
+	return nil
+}
+
+// verifyShadowNode checks one node against its encoded shadow image.
+// Geometry compares bitwise (Float64bits, not geometric tolerance): the
+// shadow is a codec round trip of the exact in-memory floats, so any
+// difference at all — including a NaN payload or a -0/+0 flip — is
+// corruption, not numeric noise.
+func verifyShadowNode(codec Codec, n *rtree.Node, buf []byte) error {
+	dec, err := codec.Decode(buf)
+	if err != nil {
+		return fmt.Errorf("pagestore: page %d: %v", n.ID, err)
+	}
+	if dec.ID != n.ID || dec.Level != n.Level || len(dec.Entries) != len(n.Entries) {
+		return fmt.Errorf("pagestore: page %d: shadow header mismatch", n.ID)
+	}
+	for i := range n.Entries {
+		a, b := n.Entries[i], dec.Entries[i]
+		if !rectBitsEqual(a.Rect, b.Rect) || a.Child != b.Child || a.Object != b.Object || a.Count != b.Count {
+			return fmt.Errorf("pagestore: page %d entry %d: shadow mismatch", n.ID, i)
 		}
-		for i := range n.Entries {
-			a, b := n.Entries[i], dec.Entries[i]
-			if !a.Rect.Equal(b.Rect) || a.Child != b.Child || a.Object != b.Object || a.Count != b.Count {
-				return fmt.Errorf("pagestore: page %d entry %d: shadow mismatch", id, i)
-			}
-			if s.codec.Spheres {
-				if !a.Sphere.Center.Equal(b.Sphere.Center) || a.Sphere.Radius != b.Sphere.Radius { //lint:allow floatcmp shadow check wants bitwise identity, not tolerance
-					return fmt.Errorf("pagestore: page %d entry %d: sphere shadow mismatch", id, i)
-				}
+		if codec.Spheres {
+			if !pointBitsEqual(a.Sphere.Center, b.Sphere.Center) ||
+				math.Float64bits(a.Sphere.Radius) != math.Float64bits(b.Sphere.Radius) {
+				return fmt.Errorf("pagestore: page %d entry %d: sphere shadow mismatch", n.ID, i)
 			}
 		}
 	}
 	return nil
+}
+
+// pointBitsEqual reports exact bit-level equality of two coordinate
+// vectors (IEEE-754 bit patterns, so NaNs compare by payload and
+// -0 != +0 — stricter than geometric equality, which is the point).
+func pointBitsEqual(a, b geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rectBitsEqual is pointBitsEqual over both corners.
+func rectBitsEqual(a, b geom.Rect) bool {
+	return pointBitsEqual(a.Lo, b.Lo) && pointBitsEqual(a.Hi, b.Hi)
 }

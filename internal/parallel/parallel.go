@@ -39,6 +39,54 @@ type Config struct {
 	// MaxOverlapRatio enables the X-tree supernode variant (see
 	// rtree.Config.MaxOverlapRatio); 0 disables it.
 	MaxOverlapRatio float64
+	// Store, when non-nil, is the node store the tree is built over
+	// (e.g. a pagestore.DurableStore for a disk-backed tree). Nil uses
+	// an in-memory store.
+	Store rtree.Store
+}
+
+// fill validates the config and applies defaults in place.
+func (cfg *Config) fill() error {
+	if cfg.NumDisks <= 0 {
+		return fmt.Errorf("parallel: NumDisks must be positive, got %d", cfg.NumDisks)
+	}
+	if cfg.Cylinders <= 0 {
+		return fmt.Errorf("parallel: Cylinders must be positive, got %d", cfg.Cylinders)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = decluster.ProximityIndex{}
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.MaxEntries == 0 {
+		cfg.MaxEntries = rtree.CapacityForPageEx(cfg.PageSize, cfg.Dim, cfg.UseSpheres)
+	}
+	return nil
+}
+
+// rtreeConfig is the base-tree geometry implied by the array config.
+func (cfg Config) rtreeConfig() rtree.Config {
+	return rtree.Config{
+		Dim:             cfg.Dim,
+		MaxEntries:      cfg.MaxEntries,
+		MinEntries:      cfg.MinEntries,
+		UseSpheres:      cfg.UseSpheres,
+		MaxOverlapRatio: cfg.MaxOverlapRatio,
+	}
+}
+
+// newShell builds the placement bookkeeping around a filled config; the
+// caller attaches the base rtree and installs the listener.
+func newShell(cfg Config) *Tree {
+	return &Tree{
+		cfg:        cfg,
+		policy:     cfg.Policy,
+		state:      decluster.NewArrayState(cfg.NumDisks),
+		placements: make(map[rtree.PageID]Placement),
+		rects:      make(map[rtree.PageID]geom.Rect),
+		rnd:        rand.New(rand.NewSource(cfg.Seed)),
+	}
 }
 
 // Tree is an R*-tree declustered over a disk array.
@@ -58,43 +106,60 @@ func newCylinderRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
-// New builds an empty parallel R*-tree.
+// New builds an empty parallel R*-tree (over Config.Store when set).
 func New(cfg Config) (*Tree, error) {
-	if cfg.NumDisks <= 0 {
-		return nil, fmt.Errorf("parallel: NumDisks must be positive, got %d", cfg.NumDisks)
+	if err := cfg.fill(); err != nil {
+		return nil, err
 	}
-	if cfg.Cylinders <= 0 {
-		return nil, fmt.Errorf("parallel: Cylinders must be positive, got %d", cfg.Cylinders)
-	}
-	if cfg.Policy == nil {
-		cfg.Policy = decluster.ProximityIndex{}
-	}
-	if cfg.PageSize == 0 {
-		cfg.PageSize = 4096
-	}
-	if cfg.MaxEntries == 0 {
-		cfg.MaxEntries = rtree.CapacityForPageEx(cfg.PageSize, cfg.Dim, cfg.UseSpheres)
-	}
-	pt := &Tree{
-		cfg:        cfg,
-		policy:     cfg.Policy,
-		state:      decluster.NewArrayState(cfg.NumDisks),
-		placements: make(map[rtree.PageID]Placement),
-		rects:      make(map[rtree.PageID]geom.Rect),
-		rnd:        rand.New(rand.NewSource(cfg.Seed)),
-	}
-	base, err := rtree.New(rtree.Config{
-		Dim:             cfg.Dim,
-		MaxEntries:      cfg.MaxEntries,
-		MinEntries:      cfg.MinEntries,
-		UseSpheres:      cfg.UseSpheres,
-		MaxOverlapRatio: cfg.MaxOverlapRatio,
-	}, nil)
+	pt := newShell(cfg)
+	base, err := rtree.New(cfg.rtreeConfig(), cfg.Store)
 	if err != nil {
 		return nil, err
 	}
 	pt.Tree = base
 	base.SetListener(pt)
+	return pt, nil
+}
+
+// Adopt wraps an existing consistent tree — typically one recovered
+// from a pagestore.DurableStore — in the parallel layer. The store must
+// already hold the tree rooted at root with size data objects (the
+// contract of rtree.Restore). Placements are reassigned by replaying
+// the declustering policy over a deterministic parent-first walk, so an
+// adopted tree's page-to-disk map is reproducible but need not match
+// the map the original grow-time listener produced; query results are
+// placement-independent, which is what recovery parity tests rely on.
+func Adopt(cfg Config, store rtree.Store, root rtree.PageID, size int) (*Tree, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	base, err := rtree.Restore(cfg.rtreeConfig(), store, root, size)
+	if err != nil {
+		return nil, err
+	}
+	pt := newShell(cfg)
+	pt.Tree = base
+	// Replay the policy parent-first, children in entry order; each node
+	// is placed seeing its already-placed elder siblings, mirroring what
+	// the policy sees when a split reports new siblings.
+	var place func(id rtree.PageID, elder []rtree.PageID)
+	place = func(id rtree.PageID, elder []rtree.PageID) {
+		n := store.Get(id)
+		pt.NodeCreated(n, elder)
+		if n.IsLeaf() {
+			return
+		}
+		placed := make([]rtree.PageID, 0, len(n.Entries))
+		for _, e := range n.Entries {
+			place(e.Child, placed)
+			placed = append(placed, e.Child)
+		}
+	}
+	place(root, nil)
+	base.SetListener(pt) // re-reports the root; NodeCreated skips placed pages
+	if err := pt.CheckPlacements(); err != nil {
+		return nil, err
+	}
 	return pt, nil
 }
 

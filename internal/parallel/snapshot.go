@@ -29,6 +29,10 @@ var snapshotMagic = [4]byte{'S', 'Q', 'T', 'R'}
 
 const snapshotVersion = 1
 
+// maxSnapshotPage bounds the per-page encoded length a snapshot may
+// declare, so a corrupt length field cannot drive a giant allocation.
+const maxSnapshotPage = 1 << 24
+
 // Snapshot writes the tree to w.
 func (t *Tree) Snapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -193,11 +197,19 @@ func LoadSnapshot(r io.Reader) (*Tree, error) {
 			Cylinder: int(binary.LittleEndian.Uint32(ph[10:])),
 		}
 		blen := int(binary.LittleEndian.Uint32(ph[14:]))
+		if blen < 16 || blen > maxSnapshotPage {
+			return nil, fmt.Errorf("parallel: page %d: implausible encoded length %d", i, blen)
+		}
 		buf := make([]byte, blen)
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("parallel: page %d body: %w", i, err)
 		}
-		node, err := codec.Decode(buf)
+		// The recorded length is the page size the writer encoded with
+		// (the writer's PageSize is not serialized, only derivable when it
+		// was the minimal fit). Decode strictly against it.
+		pcodec := codec
+		pcodec.PageSize = blen
+		node, err := pcodec.Decode(buf)
 		if err != nil {
 			return nil, fmt.Errorf("parallel: page %d: %w", i, err)
 		}
