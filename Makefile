@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Duration per fuzz target in the `fuzz` smoke target.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet analyze test race lint bench bench-json bench-check fuzz chaos chaos-full crash crash-full full
+.PHONY: all build vet analyze analyze-sarif audit test race lint bench bench-json bench-check fuzz chaos chaos-full crash crash-full full
 
 all: build vet analyze test
 
@@ -21,10 +21,27 @@ vet:
 	$(GO) vet ./...
 
 ## analyze: the repo-specific analyzer suite (internal/lint) run through
-## the `go vet -vettool` protocol, exactly as CI runs it.
+## the `go vet -vettool` protocol, exactly as CI runs it, followed by
+## the suppression audit (stale //lint:allow directives fail the build).
 analyze:
 	$(GO) build -o bin/simquerylint ./cmd/simquerylint
 	$(GO) vet -vettool=$(abspath bin/simquerylint) ./...
+	bin/simquerylint -source . -audit
+
+## analyze-sarif: standalone whole-module scan rendered as SARIF 2.1.0
+## (lint.sarif in the repo root — CI uploads it as an artifact).
+ANALYZE_SARIF_OUT ?= lint.sarif
+analyze-sarif:
+	$(GO) build -o bin/simquerylint ./cmd/simquerylint
+	bin/simquerylint -source . -sarif $(ANALYZE_SARIF_OUT)
+	@echo "wrote $(ANALYZE_SARIF_OUT)"
+
+## audit: report //lint:allow directives that no longer suppress any
+## finding. Stale suppressions are bugs-in-waiting: they hide nothing
+## today and mask a real finding tomorrow.
+audit:
+	$(GO) build -o bin/simquerylint ./cmd/simquerylint
+	bin/simquerylint -source . -audit
 
 ## test: the CI test job (short mode — slow simulations skipped).
 test:
@@ -112,6 +129,7 @@ crash-full:
 full:
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) analyze
 	$(MAKE) chaos-full
 	$(MAKE) crash-full
 	$(MAKE) bench

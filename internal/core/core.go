@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -152,8 +153,7 @@ func NewIndex(cfg IndexConfig) (*Index, error) {
 			ix.tree, err = parallel.New(pcfg)
 		}
 		if err != nil {
-			ds.Close()
-			return nil, err
+			return nil, errors.Join(err, ds.Close())
 		}
 		return ix, nil
 	}
@@ -438,8 +438,9 @@ func (e *Engine) Snapshot() EngineSnapshot { return e.eng.Snapshot() }
 // Like expvar.Publish it must be called at most once per name.
 func (e *Engine) PublishExpvar(name string) { e.eng.PublishExpvar(name) }
 
-// Close stops the engine's workers; pending queries unwind first.
-func (e *Engine) Close() { e.eng.Close() }
+// Close stops the engine's workers (pending queries unwind first) and
+// closes any file-backed replica stores, returning their close errors.
+func (e *Engine) Close() error { return e.eng.Close() }
 
 // Check validates the index invariants (tree structure, entry counts,
 // page placements). Intended for tests and tools.

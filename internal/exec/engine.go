@@ -340,8 +340,7 @@ func New(t *parallel.Tree, cfg Config) (*Engine, error) {
 		for m := 0; m < cfg.Mirrors; m++ {
 			rd, err := e.buildReplicaReader(d, m, codec)
 			if err != nil {
-				e.closeFiles()
-				return nil, err
+				return nil, errors.Join(err, e.closeFiles())
 			}
 			if cfg.Fault != nil {
 				rd = cfg.Fault.Reader(d*cfg.Mirrors+m, rd)
@@ -405,12 +404,15 @@ func (e *Engine) buildReplicaReader(d, m int, codec pagestore.Codec) (pagestore.
 	return &fileReplica{fs: fs, resident: st.resident}, nil
 }
 
-// closeFiles closes the file-backed replica stores (DataDir mode).
-func (e *Engine) closeFiles() {
+// closeFiles closes the file-backed replica stores (DataDir mode),
+// joining their close errors.
+func (e *Engine) closeFiles() error {
+	var err error
 	for _, fs := range e.files {
-		fs.Close()
+		err = errors.Join(err, fs.Close())
 	}
 	e.files = nil
+	return err
 }
 
 // NumWorkers returns the total number of disk worker goroutines.
@@ -858,13 +860,14 @@ func (e *Engine) begin() error {
 }
 
 // Close rejects new queries, aborts queries blocked on admission,
-// waits for running queries to unwind, and stops the workers. It is
-// idempotent and safe to call concurrently with KNN.
-func (e *Engine) Close() {
+// waits for running queries to unwind, and stops the workers, then
+// closes any file-backed replica stores and returns their joined close
+// errors. It is idempotent and safe to call concurrently with KNN.
+func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.isClosed {
 		e.mu.Unlock()
-		return
+		return nil
 	}
 	e.isClosed = true
 	close(e.closed)
@@ -875,5 +878,5 @@ func (e *Engine) Close() {
 		close(q)
 	}
 	e.workers.Wait()
-	e.closeFiles()
+	return e.closeFiles()
 }

@@ -193,3 +193,37 @@ func TestEngineFileBackedSupernodes(t *testing.T) {
 		sameNeighbors(t, "file-backed supernodes", want, got)
 	}
 }
+
+// Engine.Close must surface replica-store close errors instead of
+// dropping them (the errlost fix): a store whose file was already
+// closed under the engine yields a non-nil Close, a healthy engine a
+// nil one, and a second Close is a nil no-op either way.
+func TestEngineCloseReportsFileErrors(t *testing.T) {
+	tree, _ := buildTree(t, 500, 2, false, 0)
+
+	eng, err := New(tree, Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("healthy Close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	eng, err = New(tree, Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.files) == 0 {
+		t.Fatal("DataDir engine has no file stores")
+	}
+	if err := eng.files[0].Close(); err != nil {
+		t.Fatalf("direct store close: %v", err)
+	}
+	if err := eng.Close(); err == nil {
+		// Before the fix, closeFiles discarded this double-close error.
+		t.Error("Close swallowed the replica store's close error")
+	}
+}

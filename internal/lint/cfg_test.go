@@ -1,0 +1,393 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFuncCFG parses src (a file fragment containing one function F)
+// and builds its CFG.
+func buildFuncCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nimport \"os\"\n\nvar _ = os.Exit\n\nfunc F() " + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "F" {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no func F")
+	return nil
+}
+
+// reaches reports whether `to` is reachable from `from` along CFG edges.
+func reaches(c *CFG, from, to int) bool {
+	seen := make([]bool, len(c.Blocks))
+	var walk func(int) bool
+	walk = func(i int) bool {
+		if i == to {
+			return true
+		}
+		if seen[i] {
+			return false
+		}
+		seen[i] = true
+		for _, e := range c.Blocks[i].Succs {
+			if walk(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// blockByLabel returns the first block with the given label.
+func blockByLabel(t *testing.T, c *CFG, label string) *Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		if b.Label == label {
+			return b
+		}
+	}
+	t.Fatalf("no block labeled %q in\n%s", label, c.Dump())
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	x := 1
+	_ = x
+	return
+}`)
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c.Dump())
+	}
+	entry := c.Blocks[c.Entry]
+	if len(entry.Nodes) != 3 { // assign, assign, return
+		t.Errorf("entry has %d nodes, want 3:\n%s", len(entry.Nodes), c.Dump())
+	}
+}
+
+func TestCFGIfBranches(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x
+}`)
+	entry := c.Blocks[c.Entry]
+	var pos, neg int
+	for _, e := range entry.Succs {
+		if e.Cond == nil {
+			t.Errorf("if edge missing condition:\n%s", c.Dump())
+		} else if e.Negated {
+			neg++
+		} else {
+			pos++
+		}
+	}
+	if pos != 1 || neg != 1 {
+		t.Errorf("if: got %d positive, %d negated cond edges, want 1/1:\n%s", pos, neg, c.Dump())
+	}
+}
+
+func TestCFGDeferRecorded(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	defer println("a")
+	if true {
+		defer println("b")
+	}
+}`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(c.Defers))
+	}
+	// The conditional defer sits in the then-block, not the entry.
+	then := blockByLabel(t, c, "if.then")
+	found := false
+	for _, n := range then.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("conditional defer not in if.then block:\n%s", c.Dump())
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	x := 1
+	if x > 0 {
+		panic("boom")
+	}
+	_ = x
+}`)
+	then := blockByLabel(t, c, "if.then")
+	toPanic := false
+	for _, e := range then.Succs {
+		if e.To == c.Panic {
+			toPanic = true
+		}
+	}
+	if !toPanic {
+		t.Errorf("panic call does not edge to the panic block:\n%s", c.Dump())
+	}
+	// The join after the if must not be reachable from the then-block:
+	// panic never falls through.
+	join := blockByLabel(t, c, "if.join")
+	if reaches(c, then.Index, join.Index) {
+		t.Errorf("flow continues past panic:\n%s", c.Dump())
+	}
+	// os.Exit behaves the same.
+	c = buildFuncCFG(t, `{
+	os.Exit(2)
+	println("dead")
+}`)
+	if reaches(c, c.Entry, c.Exit) {
+		t.Errorf("flow continues past os.Exit to the normal exit:\n%s", c.Dump())
+	}
+}
+
+func TestCFGSelectEdges(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	ch := make(chan int)
+	done := make(chan bool)
+	select {
+	case v := <-ch:
+		_ = v
+	case <-done:
+		return
+	default:
+	}
+	println("after")
+}`)
+	cases := 0
+	for _, b := range c.Blocks {
+		if b.Label == "select.case" {
+			cases++
+		}
+	}
+	if cases != 3 {
+		t.Fatalf("got %d select.case blocks, want 3:\n%s", cases, c.Dump())
+	}
+	// The return-clause must reach the exit; the join must still be
+	// reachable (via the other clauses).
+	join := blockByLabel(t, c, "select.join")
+	if !reaches(c, c.Entry, join.Index) {
+		t.Errorf("select join unreachable:\n%s", c.Dump())
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Errorf("exit unreachable through the return clause:\n%s", c.Dump())
+	}
+}
+
+func TestCFGGotoEdges(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	i := 0
+retry:
+	i++
+	if i < 3 {
+		goto retry
+	}
+	_ = i
+}`)
+	lbl := blockByLabel(t, c, "label.retry")
+	then := blockByLabel(t, c, "if.then")
+	back := false
+	for _, e := range then.Succs {
+		if e.To == lbl.Index {
+			back = true
+		}
+	}
+	if !back {
+		t.Errorf("goto does not edge back to its label block:\n%s", c.Dump())
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Errorf("exit unreachable:\n%s", c.Dump())
+	}
+}
+
+func TestCFGForAndBreakContinue(t *testing.T) {
+	c := buildFuncCFG(t, `{
+outer:
+	for i := 0; i < 10; i++ {
+		for {
+			if i == 3 {
+				continue outer
+			}
+			if i == 5 {
+				break outer
+			}
+			break
+		}
+	}
+}`)
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Errorf("exit unreachable:\n%s", c.Dump())
+	}
+	// continue outer must edge to the outer post block, break outer to
+	// the outer join.
+	post := blockByLabel(t, c, "for.post")
+	join := blockByLabel(t, c, "for.join")
+	contOK, brkOK := false, false
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			br, ok := n.(*ast.BranchStmt)
+			if !ok || br.Label == nil {
+				continue
+			}
+			for _, e := range b.Succs {
+				if br.Tok == token.CONTINUE && e.To == post.Index {
+					contOK = true
+				}
+				if br.Tok == token.BREAK && e.To == join.Index {
+					brkOK = true
+				}
+			}
+		}
+	}
+	if !contOK || !brkOK {
+		t.Errorf("labeled continue->post=%v break->join=%v:\n%s", contOK, brkOK, c.Dump())
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	switch x := 1; x {
+	case 1:
+		fallthrough
+	case 2:
+		println("two")
+	default:
+		return
+	}
+}`)
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Errorf("exit unreachable:\n%s", c.Dump())
+	}
+	// Three case blocks; the first must edge into the second.
+	var caseBlocks []*Block
+	for _, b := range c.Blocks {
+		if b.Label == "switch.case" {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	if len(caseBlocks) != 3 {
+		t.Fatalf("got %d case blocks, want 3:\n%s", len(caseBlocks), c.Dump())
+	}
+	falls := false
+	for _, e := range caseBlocks[0].Succs {
+		if e.To == caseBlocks[1].Index {
+			falls = true
+		}
+	}
+	if !falls {
+		t.Errorf("fallthrough edge missing:\n%s", c.Dump())
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	for i := range 10 {
+		if i == 3 {
+			return
+		}
+	}
+	println("done")
+}`)
+	head := blockByLabel(t, c, "range.head")
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body, join):\n%s", len(head.Succs), c.Dump())
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Errorf("exit unreachable:\n%s", c.Dump())
+	}
+}
+
+// TestFlowMustMeet pins the dataflow engine's meet behavior: a fact
+// genned on only one arm of an if does not survive the join under a
+// must analysis, but does under a may analysis.
+func TestFlowMustMeet(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	x := 1
+	if x > 0 {
+		x = 2 // gen
+	}
+	_ = x
+}`)
+	genOnAssign := func(b *Block, in BitSet) []BitSet {
+		out := in
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				continue
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				out = out.Clone()
+				out.Set(0)
+			}
+		}
+		return UniformOuts(b, out)
+	}
+	for _, must := range []bool{true, false} {
+		ins := c.Flow(FlowSpec{Bits: 1, Must: must, Transfer: genOnAssign})
+		got := ins[c.Exit].Has(0)
+		if got != !must {
+			t.Errorf("must=%v: fact at exit = %v, want %v\n%s", must, got, !must, c.Dump())
+		}
+	}
+}
+
+// TestFlowLoopFixpoint verifies convergence with a loop: a fact genned
+// in the body is a may-fact at the exit but not a must-fact (the
+// zero-iteration path).
+func TestFlowLoopFixpoint(t *testing.T) {
+	c := buildFuncCFG(t, `{
+	n := 3
+	for i := 0; i < n; i++ {
+		n = 4 // gen
+	}
+	_ = n
+}`)
+	gen := func(b *Block, in BitSet) []BitSet {
+		out := in
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				continue
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				out = out.Clone()
+				out.Set(0)
+			}
+		}
+		return UniformOuts(b, out)
+	}
+	mayIns := c.Flow(FlowSpec{Bits: 1, Must: false, Transfer: gen})
+	mustIns := c.Flow(FlowSpec{Bits: 1, Must: true, Transfer: gen})
+	if !mayIns[c.Exit].Has(0) {
+		t.Errorf("may-fact lost through loop:\n%s", c.Dump())
+	}
+	if mustIns[c.Exit].Has(0) {
+		t.Errorf("must-fact held despite zero-iteration path:\n%s", c.Dump())
+	}
+}
+
+func TestCFGDumpStable(t *testing.T) {
+	c := buildFuncCFG(t, `{ return }`)
+	d := c.Dump()
+	if !strings.Contains(d, "[entry]") || !strings.Contains(d, "[exit]") {
+		t.Errorf("dump missing entry/exit: %s", d)
+	}
+}

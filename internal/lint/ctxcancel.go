@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCancel verifies that every cancel func returned by
+// context.WithCancel / WithTimeout / WithDeadline is called on all
+// paths from its creation to every return — typically via an immediate
+// `defer cancel()`. Discarding the cancel func with `_` is reported
+// outright (it leaks the context's resources until the parent dies).
+//
+// A cancel func that escapes the creating function — stored in a
+// struct, passed to another call, returned — transfers the obligation
+// to the escapee and is exempt here. Paths ending in panic are exempt.
+//
+// Unlike the other protocol analyzers this one runs over every package,
+// test files included: production context plumbing and test harness
+// contexts leak the same way.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc: "cancel funcs from context.WithCancel/WithTimeout/WithDeadline " +
+		"must be called on every return path (usually `defer cancel()`) " +
+		"or handed off; discarding one with _ leaks the context",
+	Run: runCtxCancel,
+}
+
+var ctxCancelFuncs = map[string]bool{
+	"WithCancel":   true,
+	"WithTimeout":  true,
+	"WithDeadline": true,
+	// WithCancelCause and friends return the same obligation.
+	"WithCancelCause":   true,
+	"WithTimeoutCause":  true,
+	"WithDeadlineCause": true,
+}
+
+// isContextWith reports whether call is context.With*(...) and thus
+// returns (ctx, cancel).
+func isContextWith(info *types.Info, call *ast.CallExpr) bool {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "context" && ctxCancelFuncs[fn.Name()]
+}
+
+// ctxSite is one context.With* creation whose cancel obligation this
+// function owns.
+type ctxSite struct {
+	assign *ast.AssignStmt
+	call   *ast.CallExpr
+	cancel *types.Var // nil when discarded with _
+	name   string
+}
+
+func runCtxCancel(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			checkCtxCancel(pass, declName(decl, lit), body)
+		})
+	}
+	return nil
+}
+
+// collectCtxSites finds the With* creations directly in this body
+// (nested literals own their own sites).
+func collectCtxSites(pass *Pass, body *ast.BlockStmt) []ctxSite {
+	var sites []ctxSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isContextWith(pass.TypesInfo, call) {
+			return true
+		}
+		site := ctxSite{assign: as, call: call}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+			site.name = id.Name
+			if obj, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+				site.cancel = obj
+			}
+		}
+		sites = append(sites, site)
+		return true
+	})
+	return sites
+}
+
+func checkCtxCancel(pass *Pass, fname string, body *ast.BlockStmt) {
+	sites := collectCtxSites(pass, body)
+	if len(sites) == 0 {
+		return
+	}
+
+	var tracked []ctxSite
+	for _, s := range sites {
+		if s.cancel == nil {
+			pass.Reportf(s.assign.Pos(),
+				"%s discards the cancel func from context.%s with _: the derived "+
+					"context leaks until its parent is cancelled; call it (usually "+
+					"`defer cancel()`)",
+				fname, calleeName(pass.TypesInfo, s.call))
+			continue
+		}
+		if cancelEscapes(pass, body, s) {
+			continue // obligation handed off
+		}
+		tracked = append(tracked, s)
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	cfg := BuildCFG(body)
+	// Must-analysis, one bit per site meaning "no cancel outstanding":
+	// set at entry (a creation that never runs owes nothing), cleared
+	// at the creation, re-set by a call to the cancel func (a defer
+	// counts at registration). Requiring the bit at every return makes
+	// creation-and-cancel inside one loop iteration check out while an
+	// early return between them is flagged.
+	entry := NewBitSet(len(tracked))
+	entry.Fill()
+	transfer := func(b *Block, in BitSet) []BitSet {
+		out := in
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					return false
+				}
+				if as, ok := m.(*ast.AssignStmt); ok {
+					for i, s := range tracked {
+						if s.assign == as {
+							out.Clear(i)
+						}
+					}
+					return true
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				for i, s := range tracked {
+					if s.cancel == obj {
+						out.Set(i)
+					}
+				}
+				return true
+			})
+		}
+		return UniformOuts(b, out)
+	}
+	ins := cfg.Flow(FlowSpec{Bits: len(tracked), Must: true, Entry: entry, Transfer: transfer})
+	atExit := ins[cfg.Exit]
+	for i, s := range tracked {
+		if !atExit.Has(i) {
+			pass.Reportf(s.assign.Pos(),
+				"%s: cancel func %q from context.%s is not called on every return "+
+					"path; add `defer %s()` right after the creation",
+				fname, s.name, calleeName(pass.TypesInfo, s.call), s.name)
+		}
+	}
+}
+
+// cancelEscapes reports whether the cancel func is used as anything
+// other than a direct call `cancel()` (plain, deferred, or in a go
+// statement): passed as an argument, stored, returned, aliased. Any
+// such use transfers the calling obligation elsewhere. Nested literals
+// count — a closure capturing cancel to call it later is a handoff to
+// that closure.
+func cancelEscapes(pass *Pass, body *ast.BlockStmt, s ctxSite) bool {
+	// First pass: idents that are the direct Fun of a call — those are
+	// the sanctioned uses.
+	funIdents := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				funIdents[id] = true
+			}
+		}
+		return true
+	})
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		// Any reference from inside a nested closure is a capture — a
+		// handoff to that closure (the CFG cannot see when it runs).
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == s.cancel {
+					escapes = true
+				}
+				return !escapes
+			})
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(id) != s.cancel {
+			return true
+		}
+		// Sanctioned: being called, or being the LHS of its own
+		// creation. Everything else — argument, store, return value,
+		// alias, capture for a later write — hands the obligation off.
+		if funIdents[id] || id == s.assign.Lhs[1] {
+			return true
+		}
+		escapes = true
+		return false
+	})
+	return escapes
+}
+
+// calleeName returns the called function's name for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := callee(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "WithCancel"
+}

@@ -82,6 +82,10 @@ func All() []*Analyzer {
 		FloatCmp,
 		LockCheck,
 		StatsComplete,
+		TracePair,
+		FsyncOrder,
+		CtxCancel,
+		ErrLost,
 	}
 }
 
@@ -98,6 +102,51 @@ type Package struct {
 // suppressions applied. Malformed directives (missing reason, unknown
 // format) are returned as diagnostics of the pseudo-analyzer "lint".
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	kept, _, err := runAnalyzers(pkg, analyzers)
+	return kept, err
+}
+
+// Audit runs the analyzers and additionally reports every well-formed
+// //lint:allow directive that suppressed nothing — a stale suppression
+// whose finding has since been fixed (or whose analyzer never fires
+// there). Stale directives come back as diagnostics of the
+// pseudo-analyzer "audit" so the drivers print and gate on them like
+// any other finding. The analyzer set should be All(): auditing against
+// a subset would falsely flag directives owned by the missing
+// analyzers.
+func Audit(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	kept, allows, err := runAnalyzers(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, d := range allows.directives {
+		if d.used {
+			continue
+		}
+		if !known[d.analyzer] {
+			kept = append(kept, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "audit",
+				Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", d.analyzer),
+			})
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "audit",
+			Message: fmt.Sprintf("stale //lint:allow %s: no %s finding on this line or the one below; "+
+				"delete the directive (the suppressed issue is gone)", d.analyzer, d.analyzer),
+		})
+	}
+	sortDiags(kept)
+	return kept, nil
+}
+
+func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, *allowSet, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -109,7 +158,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	allows, malformed := collectAllows(pkg.Fset, pkg.Files)
@@ -120,39 +169,56 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	kept = append(kept, malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].Pos != kept[j].Pos {
-			return kept[i].Pos < kept[j].Pos
+	sortDiags(kept)
+	return kept, allows, nil
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
 		}
-		return kept[i].Analyzer < kept[j].Analyzer
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return kept, nil
+}
+
+// allowDirective is one parsed //lint:allow comment; used flips when it
+// suppresses a finding, feeding the audit.
+type allowDirective struct {
+	pos      token.Pos
+	analyzer string
+	used     bool
 }
 
 // allowSet indexes //lint:allow directives by file and line.
-type allowSet map[string]map[int][]string // filename -> line -> analyzer names
+type allowSet struct {
+	byLine     map[string]map[int][]*allowDirective // filename -> line -> directives
+	directives []*allowDirective
+}
 
-func (s allowSet) covers(pos token.Position, analyzer string) bool {
-	lines := s[pos.Filename]
+func (s *allowSet) covers(pos token.Position, analyzer string) bool {
+	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	// A directive suppresses findings on its own line (trailing
 	// comment) and on the line below it (comment above the statement).
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer {
-				return true
+		for _, d := range lines[line] {
+			if d.analyzer == analyzer {
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 const allowPrefix = "//lint:allow"
 
-func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
-	set := allowSet{}
+func collectAllows(fset *token.FileSet, files []*ast.File) (*allowSet, []Diagnostic) {
+	set := &allowSet{byLine: map[string]map[int][]*allowDirective{}}
 	var malformed []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -171,10 +237,12 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 					continue
 				}
 				p := fset.Position(c.Pos())
-				if set[p.Filename] == nil {
-					set[p.Filename] = map[int][]string{}
+				if set.byLine[p.Filename] == nil {
+					set.byLine[p.Filename] = map[int][]*allowDirective{}
 				}
-				set[p.Filename][p.Line] = append(set[p.Filename][p.Line], fields[0])
+				d := &allowDirective{pos: c.Pos(), analyzer: fields[0]}
+				set.byLine[p.Filename][p.Line] = append(set.byLine[p.Filename][p.Line], d)
+				set.directives = append(set.directives, d)
 			}
 		}
 	}

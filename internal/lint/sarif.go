@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 output — the minimal subset GitHub code scanning ingests:
+// one run, one rule per analyzer, one result per diagnostic with a
+// physical location relative to the repository root.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Finding is one resolved diagnostic with its file position, the unit
+// the standalone drivers and SARIF writer exchange.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// sarifLevel maps analyzers to SARIF severity: protocol violations and
+// real findings are errors; stale suppressions (the audit
+// pseudo-analyzer) are warnings — they block the nightly audit job, not
+// correctness.
+func sarifLevel(analyzer string) string {
+	if analyzer == "audit" {
+		return "warning"
+	}
+	return "error"
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. File paths are
+// rewritten relative to root so the artifact is machine-portable (URIs
+// in SARIF are relative to %SRCROOT%, which CI binds to the checkout).
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers)+2)
+	seen := map[string]bool{}
+	addRule := func(id, doc string) {
+		if !seen[id] {
+			seen[id] = true
+			rules = append(rules, sarifRule{
+				ID:               id,
+				ShortDescription: sarifMessage{Text: id},
+				FullDescription:  sarifMessage{Text: doc},
+			})
+		}
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("lint", "malformed //lint:allow directive")
+	addRule("audit", "stale //lint:allow suppression: it no longer suppresses any finding")
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Position.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   sarifLevel(f.Analyzer),
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Position.Line,
+						StartColumn: f.Position.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "simquerylint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

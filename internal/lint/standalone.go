@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Standalone is the whole-module driver behind cmd/simquerylint when it
+// is invoked directly rather than as a `go vet -vettool`. It loads
+// every package under -source from source (LoadModule), runs the full
+// analyzer suite, and renders the findings as plain text, GitHub
+// workflow annotations (-github), and/or a SARIF 2.1.0 artifact
+// (-sarif). With -audit it additionally reports stale //lint:allow
+// suppressions. The exit code is 1 when anything is found, 2 on driver
+// errors.
+func Standalone(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simquerylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		source = fs.String("source", ".", "module root directory to analyze")
+		mod    = fs.String("module", "repro", "module import path of -source")
+		sarif  = fs.String("sarif", "", "write a SARIF 2.1.0 report to this file")
+		audit  = fs.Bool("audit", false, "also report stale //lint:allow suppressions")
+		github = fs.Bool("github", false, "emit GitHub Actions ::error/::warning annotations")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: simquerylint [flags]            (standalone: analyze a module from source)\n")
+		fmt.Fprintf(stderr, "       go vet -vettool=simquerylint ./...  (unitchecker protocol)\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := All()
+	pkgs, err := LoadModule(*source, *mod)
+	if err != nil {
+		fmt.Fprintf(stderr, "simquerylint: %v\n", err)
+		return 2
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		if *audit {
+			diags, err = Audit(pkg, analyzers)
+		} else {
+			diags, err = RunAnalyzers(pkg, analyzers)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "simquerylint: %s: %v\n", pkg.Pkg.Path(), err)
+			return 2
+		}
+		for _, d := range diags {
+			findings = append(findings, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", f.Position, f.Analyzer, f.Message)
+		if *github {
+			level := "error"
+			if sarifLevel(f.Analyzer) == "warning" {
+				level = "warning"
+			}
+			// ::error file=...,line=...,col=...::message — GitHub
+			// renders these as inline PR annotations.
+			fmt.Fprintf(stdout, "::%s file=%s,line=%d,col=%d::[%s] %s\n",
+				level, f.Position.Filename, f.Position.Line, f.Position.Column,
+				f.Analyzer, githubEscape(f.Message))
+		}
+	}
+
+	if *sarif != "" {
+		out, err := os.Create(*sarif)
+		if err != nil {
+			fmt.Fprintf(stderr, "simquerylint: %v\n", err)
+			return 2
+		}
+		werr := WriteSARIF(out, *source, analyzers, findings)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "simquerylint: writing %s: %v\n", *sarif, werr)
+			return 2
+		}
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "simquerylint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// githubEscape encodes the characters the workflow-command parser
+// treats specially in the message payload.
+func githubEscape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}

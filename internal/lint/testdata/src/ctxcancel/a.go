@@ -1,0 +1,148 @@
+// Package ctxcancel is golden-test input for the ctxcancel analyzer.
+package ctxcancel
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// deferredCancel is the canonical shape.
+func deferredCancel(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return work(ctx)
+}
+
+// discardedCancel leaks the derived context until the parent dies.
+func discardedCancel(parent context.Context) error {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want "discards the cancel func from context.WithTimeout with _"
+	return work(ctx)
+}
+
+// missedOnErrorPath calls cancel on the happy path only.
+func missedOnErrorPath(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(parent) // want "cancel func \"cancel\" from context.WithCancel is not called on every return path"
+	if fail {
+		return errBoom
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// calledOnAllPaths without defer is fine too.
+func calledOnAllPaths(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	if fail {
+		cancel()
+		return errBoom
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// handedOff returns the cancel func: the caller owns the obligation.
+func handedOff(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second))
+	return ctx, cancel
+}
+
+// storedForLater hands the cancel func to a struct; exempt here.
+type session struct {
+	ctx  context.Context
+	stop context.CancelFunc
+}
+
+func storedForLater(parent context.Context) *session {
+	ctx, cancel := context.WithCancel(parent)
+	return &session{ctx: ctx, stop: cancel}
+}
+
+// closureHandoff: a closure capturing cancel to call later is a
+// handoff to that closure.
+func closureHandoff(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	cleanup := func() {
+		cancel()
+	}
+	return ctx, cleanup
+}
+
+// panicPathExempt: a path that panics owes nothing.
+func panicPathExempt(parent context.Context, fatal bool) error {
+	ctx, cancel := context.WithCancel(parent) // no finding: panic exit exempt, other path cancels
+	if fatal {
+		panic("fatal")
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// selectArmMisses: the timeout arm forgets to cancel.
+func selectArmMisses(parent context.Context, ch <-chan int) error {
+	ctx, cancel := context.WithCancel(parent) // want "cancel func \"cancel\" from context.WithCancel is not called on every return path"
+	select {
+	case <-ch:
+		cancel()
+		return work(ctx)
+	case <-time.After(time.Second):
+		return errBoom
+	}
+}
+
+// twoContexts: each site tracked independently.
+func twoContexts(parent context.Context, fail bool) error {
+	ctx1, cancel1 := context.WithCancel(parent)
+	defer cancel1()
+	ctx2, cancel2 := context.WithTimeout(ctx1, time.Second) // want "cancel func \"cancel2\" from context.WithTimeout is not called on every return path"
+	if fail {
+		return errBoom
+	}
+	err := work(ctx2)
+	cancel2()
+	return err
+}
+
+// loopLocalPair: creation and cancel inside one loop iteration — the
+// chaos-test shape. The zero-iteration path owes nothing.
+func loopLocalPair(parent context.Context, seeds int) error {
+	for s := 0; s < seeds; s++ {
+		ctx, cancel := context.WithTimeout(parent, time.Second)
+		if err := work(ctx); err != nil {
+			cancel()
+			return err
+		}
+		cancel()
+	}
+	return nil
+}
+
+// loopLeak: a continue path that skips the cancel leaks one context
+// per iteration.
+func loopLeak(parent context.Context, seeds int) error {
+	for s := 0; s < seeds; s++ {
+		ctx, cancel := context.WithTimeout(parent, time.Second) // want "cancel func \"cancel\" from context.WithTimeout is not called on every return path"
+		if err := work(ctx); err != nil {
+			continue
+		}
+		cancel()
+	}
+	return nil
+}
+
+// suppressed: an annotated exception.
+func suppressed(parent context.Context) error {
+	//lint:allow ctxcancel context lives for the process; cancellation is the parent's job
+	ctx, _ := context.WithCancel(parent)
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,107 @@
+// Package errlost is golden-test input for the errlost analyzer. The
+// analyzer tracks errors from the storage/fault packages; under test it
+// tracks calls into this package itself, so the mock store below stands
+// in for pagestore's API.
+package errlost
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+type Store struct{}
+
+func (s *Store) WritePage(id int, b []byte) error { return nil }
+func (s *Store) ReadPage(id int) ([]byte, error)  { return nil, nil }
+func (s *Store) Sync() error                      { return nil }
+func (s *Store) Close() error                     { return nil }
+func Inject(op string) error                      { return errBoom }
+func (s *Store) Stat() (int, error)               { return 0, nil }
+
+// checkedIsFine: the canonical consume.
+func checkedIsFine(s *Store, b []byte) error {
+	if err := s.WritePage(1, b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// statementDropped discards the error entirely.
+func statementDropped(s *Store, b []byte) {
+	s.WritePage(1, b) // want "drops the error result of Store.WritePage"
+}
+
+// deferDropped: deferred cleanup errors count too.
+func deferDropped(s *Store) {
+	defer s.Close() // want "drops the error result of deferred Store.Close"
+}
+
+// goDropped: a goroutine swallowing the error.
+func goDropped(s *Store) {
+	go s.Sync() // want "drops the error result of go-routine Store.Sync"
+}
+
+// blankDropped uses _ in the error slot.
+func blankDropped(s *Store) []byte {
+	b, _ := s.ReadPage(1) // want "discards the error from Store.ReadPage with _"
+	return b
+}
+
+// annotatedDiscard: the sanctioned escape hatch.
+func annotatedDiscard(s *Store) {
+	//lint:allow errlost best-effort flush on shutdown, error path already logged
+	s.Sync()
+}
+
+// deadStoreOnOnePath: the error is read on the happy path but falls
+// out of the function on the early return.
+func deadStoreOnOnePath(s *Store, b []byte, skip bool) error {
+	err := s.WritePage(1, b) // want "assigns the error from Store.WritePage to \"err\" but a path returns without reading it"
+	if skip {
+		return nil
+	}
+	return err
+}
+
+// overwrittenBeforeRead: the second tracked call clobbers the first
+// error before anyone looks at it.
+func overwrittenBeforeRead(s *Store, b []byte) error {
+	err := s.WritePage(1, b)
+	err = s.Sync() // want "overwrites \"err\" while a previous error from Store.WritePage is still unchecked"
+	return err
+}
+
+// retryLoopConsumes: the loop body reads err each iteration and the
+// final value is returned — the shape a retry loop should have.
+func retryLoopConsumes(s *Store, b []byte) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = s.WritePage(1, b)
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// namedReturnBare: a bare return in a function with named results
+// returns err — consumed.
+func namedReturnBare(s *Store, b []byte) (err error) {
+	err = s.WritePage(1, b)
+	return
+}
+
+// closureReads: a deferred closure reading the error consumes it.
+func closureReads(s *Store, b []byte) {
+	err := s.WritePage(1, b)
+	defer func() {
+		if err != nil {
+			println("write failed")
+		}
+	}()
+}
+
+// untrackedCalleesIgnored: errors from other packages are not this
+// analyzer's business.
+func untrackedCalleesIgnored() {
+	errors.New("ignored") // not tracked: errors is not a storage package
+}

@@ -1,0 +1,236 @@
+// Package tracepair is golden-test input: positive and negative cases
+// for the tracepair analyzer. The local Event/Observer mocks mirror the
+// shape of internal/obs without importing it (testdata packages may
+// only import the stdlib).
+package tracepair
+
+import "errors"
+
+type EventType int
+
+const (
+	QueryStart EventType = iota
+	StageIssue
+	StageStart
+	StageDone
+	FetchIssue
+	FetchDone
+	QueryEnd
+)
+
+type Event struct {
+	Type  EventType
+	Stage int
+}
+
+type Observer interface {
+	Observe(Event)
+}
+
+var errBoom = errors.New("boom")
+
+// allPathsClosed is the good shape: the terminal is emitted after the
+// work regardless of outcome.
+func allPathsClosed(obs Observer, fail bool) error {
+	obs.Observe(Event{Type: StageIssue, Stage: 1})
+	var err error
+	if fail {
+		err = errBoom
+	}
+	obs.Observe(Event{Type: StageDone, Stage: 1})
+	return err
+}
+
+// earlyReturnLeaks reproduces the PR 4 bug class: the error path
+// returns before the stage is closed.
+func earlyReturnLeaks(obs Observer, fail bool) error {
+	obs.Observe(Event{Type: StageIssue, Stage: 1}) // want "emits StageIssue here but a path to a return misses its terminal StageDone"
+	if fail {
+		return errBoom
+	}
+	obs.Observe(Event{Type: StageDone, Stage: 1}) // want "emits StageDone but can return without it"
+	return nil
+}
+
+// terminalOnlyOneArm: even without a start event in this function, a
+// function that closes stages must close them on every path.
+func terminalOnlyOneArm(obs Observer, ok bool) {
+	if ok {
+		obs.Observe(Event{Type: StageDone, Stage: 2}) // want "emits StageDone but can return without it"
+	}
+}
+
+// nilCheckDischarges: the false edge of obs != nil proves the observer
+// nil, so the early return without a terminal is fine.
+func nilCheckDischarges(obs Observer, fail bool) error {
+	if obs == nil {
+		if fail {
+			return errBoom
+		}
+		return nil
+	}
+	obs.Observe(Event{Type: StageIssue, Stage: 1})
+	obs.Observe(Event{Type: StageDone, Stage: 1})
+	return nil
+}
+
+// guardedEmission is the repo's dominant shape: every emission behind
+// its own nil check, all paths merging before the return.
+func guardedEmission(obs Observer, fail bool) error {
+	if obs != nil {
+		obs.Observe(Event{Type: StageIssue, Stage: 3})
+	}
+	var err error
+	if fail {
+		err = errBoom
+	}
+	if obs != nil {
+		obs.Observe(Event{Type: StageDone, Stage: 3})
+	}
+	return err
+}
+
+// guardedLeak: the nil guard does not excuse a leak on the non-nil
+// path.
+func guardedLeak(obs Observer, fail bool) error {
+	if obs != nil {
+		obs.Observe(Event{Type: StageIssue, Stage: 3}) // want "emits StageIssue here but a path to a return misses its terminal StageDone"
+	}
+	if fail {
+		return errBoom
+	}
+	if obs != nil {
+		obs.Observe(Event{Type: StageDone, Stage: 3}) // want "emits StageDone but can return without it"
+	}
+	return nil
+}
+
+// deferClosed: a deferred terminal runs on every exit, including the
+// early error return and panic unwinding.
+func deferClosed(obs Observer, fail bool) error {
+	obs.Observe(Event{Type: StageStart, Stage: 4})
+	defer obs.Observe(Event{Type: StageDone, Stage: 4})
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// panicExitIsExempt: a path that ends in panic owes no terminal — the
+// process is going down (or a recover higher up owns cleanup).
+func panicExitIsExempt(obs Observer, fatal bool) {
+	obs.Observe(Event{Type: StageIssue, Stage: 5})
+	if fatal {
+		panic("fatal")
+	}
+	obs.Observe(Event{Type: StageDone, Stage: 5})
+}
+
+// loopRetryClosed: the terminal after a retry loop covers the break
+// paths; the only other exit emits it too.
+func loopRetryClosed(obs Observer, attempts int) error {
+	obs.Observe(Event{Type: StageIssue, Stage: 6})
+	for i := 0; i < attempts; i++ {
+		if i == 2 {
+			obs.Observe(Event{Type: StageDone, Stage: 6})
+			return errBoom
+		}
+	}
+	obs.Observe(Event{Type: StageDone, Stage: 6})
+	return nil
+}
+
+// continueLeaks: an error branch inside the loop that returns without
+// closing.
+func continueLeaks(obs Observer, attempts int) error {
+	obs.Observe(Event{Type: StageIssue, Stage: 7}) // want "emits StageIssue here but a path to a return misses its terminal StageDone"
+	for i := 0; i < attempts; i++ {
+		if i == 2 {
+			return errBoom
+		}
+	}
+	obs.Observe(Event{Type: StageDone, Stage: 7}) // want "emits StageDone but can return without it"
+	return nil
+}
+
+// fetchPairIsNotFunctionLocal: FetchIssue/FetchDone pairing is
+// per-request and data-dependent; the analyzer must not demand it.
+func fetchPairIsNotFunctionLocal(obs Observer, fail bool) error {
+	obs.Observe(Event{Type: FetchIssue, Stage: 8})
+	if fail {
+		return errBoom
+	}
+	obs.Observe(Event{Type: FetchDone, Stage: 8})
+	return nil
+}
+
+// queryPairSpansCalls: QueryStart/QueryEnd straddle Step invocations;
+// the function-local rule does not apply.
+func queryPairSpansCalls(obs Observer, done bool) {
+	if done {
+		obs.Observe(Event{Type: QueryEnd})
+		return
+	}
+	obs.Observe(Event{Type: QueryStart})
+}
+
+// suppressed: an annotated exception.
+func suppressed(obs Observer, fail bool) error {
+	//lint:allow tracepair stage closed by the caller on this seam
+	obs.Observe(Event{Type: StageDone, Stage: 9})
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// funcLitChecked: literals get their own CFG and their own obligation.
+func funcLitChecked(obs Observer) func(bool) error {
+	return func(fail bool) error {
+		obs.Observe(Event{Type: StageIssue, Stage: 10}) // want "emits StageIssue here but a path to a return misses its terminal StageDone"
+		if fail {
+			return errBoom
+		}
+		obs.Observe(Event{Type: StageDone, Stage: 10}) // want "emits StageDone but can return without it"
+		return nil
+	}
+}
+
+// twoObservers: obligations are tracked per observer root; closing one
+// does not discharge the other.
+func twoObservers(a, b Observer, fail bool) error {
+	a.Observe(Event{Type: StageIssue, Stage: 11})
+	b.Observe(Event{Type: StageIssue, Stage: 12}) // want "emits StageIssue here but a path to a return misses its terminal StageDone"
+	if fail {
+		a.Observe(Event{Type: StageDone, Stage: 11})
+		return errBoom
+	}
+	a.Observe(Event{Type: StageDone, Stage: 11})
+	b.Observe(Event{Type: StageDone, Stage: 12}) // want "emits StageDone but can return without it"
+	return nil
+}
+
+// selectPathsClosed: every select arm closes the stage before leaving.
+func selectPathsClosed(obs Observer, ch <-chan int, done <-chan struct{}) error {
+	obs.Observe(Event{Type: StageIssue, Stage: 13})
+	select {
+	case <-ch:
+		obs.Observe(Event{Type: StageDone, Stage: 13})
+		return nil
+	case <-done:
+		obs.Observe(Event{Type: StageDone, Stage: 13})
+		return errBoom
+	}
+}
+
+// selectArmLeaks: the cancellation arm forgets the terminal.
+func selectArmLeaks(obs Observer, ch <-chan int, done <-chan struct{}) error {
+	obs.Observe(Event{Type: StageIssue, Stage: 14}) // want "emits StageIssue here but a path to a return misses its terminal StageDone"
+	select {
+	case <-ch:
+		obs.Observe(Event{Type: StageDone, Stage: 14}) // want "emits StageDone but can return without it"
+		return nil
+	case <-done:
+		return errBoom
+	}
+}

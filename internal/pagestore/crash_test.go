@@ -191,7 +191,7 @@ func (f *crashFile) Sync() error {
 // only the op's first tear bytes. Callers hold f.mu.
 func (f *crashFile) applyLocked(op writeOp, tear int) {
 	if op.data == nil {
-		f.durable = resize(f.durable, op.size) //lint:allow lockcheck callers hold f.mu
+		f.durable = resize(f.durable, op.size)
 		return
 	}
 	data := op.data
@@ -199,7 +199,7 @@ func (f *crashFile) applyLocked(op writeOp, tear int) {
 		data = data[:tear]
 	}
 	if grow := op.off + int64(len(data)) - int64(len(f.durable)); grow > 0 {
-		f.durable = append(f.durable, make([]byte, grow)...) //lint:allow lockcheck callers hold f.mu
+		f.durable = append(f.durable, make([]byte, grow)...)
 	}
 	copy(f.durable[op.off:], data)
 }

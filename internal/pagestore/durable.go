@@ -2,6 +2,7 @@ package pagestore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"slices"
@@ -81,14 +82,11 @@ func OpenDurable(dir string, codec Codec, opts DurableOptions) (*DurableStore, e
 	}
 	w, entries, err := openWAL(filepath.Join(dir, WALFileName), codec.PageSize, opts.Counters)
 	if err != nil {
-		fs.Close()
-		return nil, err
+		return nil, errors.Join(err, fs.Close())
 	}
 	s, err := newDurable(fs, w, entries, opts.Counters)
 	if err != nil {
-		w.Close()
-		fs.Close()
-		return nil, err
+		return nil, errors.Join(err, w.Close(), fs.Close())
 	}
 	return s, nil
 }
@@ -518,11 +516,7 @@ func (s *DurableStore) VerifyShadow() error {
 // Close closes the WAL and the data file. It does not commit or
 // checkpoint — callers decide what the final durable state is.
 func (s *DurableStore) Close() error {
-	err := s.wal.Close()
-	if err2 := s.fs.Close(); err == nil {
-		err = err2
-	}
-	return err
+	return errors.Join(s.wal.Close(), s.fs.Close())
 }
 
 // decodeChecked decodes an image and enforces the misdirected-read

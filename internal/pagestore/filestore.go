@@ -436,17 +436,19 @@ func (fs *FileStore) Mapped() bool {
 }
 
 // Close unmaps every mapping (current and superseded) and closes the
-// file.
+// file. Unmap failures don't stop the remaining cleanup; all errors
+// are joined.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	var err error
 	if fs.mmap != nil {
-		munmap(fs.mmap)
+		err = errors.Join(err, munmap(fs.mmap))
 		fs.mmap = nil
 	}
 	for _, m := range fs.old {
-		munmap(m)
+		err = errors.Join(err, munmap(m))
 	}
 	fs.old = nil
-	return fs.f.Close()
+	return errors.Join(err, fs.f.Close())
 }
