@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Duration per fuzz target in the `fuzz` smoke target.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet analyze analyze-sarif audit test race lint bench bench-json bench-check fuzz chaos chaos-full crash crash-full full
+.PHONY: all build vet analyze analyze-sarif analyze-budget audit test race lint bench bench-json bench-check fuzz chaos chaos-full crash crash-full full
 
 all: build vet analyze test
 
@@ -35,6 +35,19 @@ analyze-sarif:
 	$(GO) build -o bin/simquerylint ./cmd/simquerylint
 	bin/simquerylint -source . -sarif $(ANALYZE_SARIF_OUT)
 	@echo "wrote $(ANALYZE_SARIF_OUT)"
+
+## analyze-budget: `make analyze` under a wall-clock ceiling. The
+## interprocedural analyzers (call graph + fixpoint summaries) must stay
+## cheap enough to run on every PR; the nightly job fails when the whole
+## suite takes longer than ANALYZE_BUDGET_SECS.
+ANALYZE_BUDGET_SECS ?= 120
+analyze-budget:
+	@start=$$(date +%s); \
+	$(MAKE) analyze || exit $$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "make analyze took $${elapsed}s (budget $(ANALYZE_BUDGET_SECS)s)"; \
+	if [ $$elapsed -gt $(ANALYZE_BUDGET_SECS) ]; then \
+		echo "analyzer runtime budget exceeded"; exit 1; fi
 
 ## audit: report //lint:allow directives that no longer suppress any
 ## finding. Stale suppressions are bugs-in-waiting: they hide nothing

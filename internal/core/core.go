@@ -100,7 +100,7 @@ type IndexConfig struct {
 type Index struct {
 	cfg  IndexConfig
 	mu   sync.RWMutex
-	tree *parallel.Tree
+	tree *parallel.Tree // guarded by mu (read lock for queries, write lock for mutations)
 
 	// Durable backing (DataDir mode); nil for a memory index.
 	store     *pagestore.DurableStore
@@ -146,10 +146,12 @@ func NewIndex(cfg IndexConfig) (*Index, error) {
 		if meta := ds.Meta(); meta.Size > 0 {
 			// The directory holds a committed tree: adopt it instead of
 			// starting empty.
+			//lint:allow lockcheck construction: ix is not shared until NewIndex returns
 			ix.tree, err = parallel.Adopt(pcfg, ds, meta.Root, meta.Size)
 			ix.recovered = meta.Size
 		} else {
 			pcfg.Store = ds
+			//lint:allow lockcheck construction: ix is not shared until NewIndex returns
 			ix.tree, err = parallel.New(pcfg)
 		}
 		if err != nil {
@@ -157,6 +159,7 @@ func NewIndex(cfg IndexConfig) (*Index, error) {
 		}
 		return ix, nil
 	}
+	//lint:allow lockcheck construction: ix is not shared until NewIndex returns
 	ix.tree, err = parallel.New(pcfg)
 	if err != nil {
 		return nil, err
@@ -243,8 +246,14 @@ func (ix *Index) Len() int {
 }
 
 // Tree exposes the underlying parallel R*-tree for advanced use
-// (experiments, statistics, custom executors).
-func (ix *Index) Tree() *parallel.Tree { return ix.tree }
+// (experiments, statistics, custom executors). The returned tree is
+// read under the caller's own discipline; the accessor itself takes
+// the read lock only for the field load.
+func (ix *Index) Tree() *parallel.Tree {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree
+}
 
 // AlgorithmByName resolves one of the paper's algorithms — "bbss",
 // "fpss", "crss" (default recommendation), "woptss" — or the extensions
@@ -445,6 +454,8 @@ func (e *Engine) Close() error { return e.eng.Close() }
 // Check validates the index invariants (tree structure, entry counts,
 // page placements). Intended for tests and tools.
 func (ix *Index) Check() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if err := ix.tree.Tree.CheckInvariants(); err != nil {
 		return err
 	}

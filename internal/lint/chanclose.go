@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanClose tracks a may-closed lattice per channel value and reports
+// send-after-possible-close and double-close, across same-package
+// helper calls:
+//
+//   - Within a function, a path-sensitive may-analysis marks a channel
+//     possibly closed after `close(ch)`; a later send or close on a
+//     path where the fact may hold is reported. The analysis is
+//     per-path, so the guarded idiom (`if e.isClosed { return }` before
+//     the close) stays clean.
+//   - A call to a same-package function whose summary says it may close
+//     a channel field marks that field possibly closed in the caller,
+//     so a double close split across a helper is still caught.
+//     Summaries are computed callee-first over the call-graph SCCs.
+//
+// Identity is the direct root: a local variable or a selector field.
+// Element channels (close(q) for q ranging over e.queues) are excluded
+// from tracking — element identity can't be told apart statically, and
+// conflating them would flag the per-element shutdown loop in
+// Engine.Close as a double close.
+var ChanClose = &Analyzer{
+	Name: "chanclose",
+	Doc: "a channel that may already be closed must not be closed again " +
+		"(panic) or sent on (panic); tracked path-sensitively and across " +
+		"same-package helper calls",
+	Run: runChanClose,
+}
+
+// chanRoot resolves a channel expression to a trackable identity: a
+// non-aliased local/package variable or a field object. Indexed
+// elements and aliased range variables return nil.
+func chanRoot(pass *Pass, aliased map[types.Object]bool, e ast.Expr) types.Object {
+	obj, indexed := rootSelObj(pass.TypesInfo, e)
+	if obj == nil || indexed || aliased[obj] {
+		return nil
+	}
+	return obj
+}
+
+func runChanClose(pass *Pass) error {
+	if !inConcurrencyScope(pass.Pkg.Path()) {
+		return nil
+	}
+	cg := BuildCallGraph(pass)
+
+	// aliased marks variables bound to channel *elements* (range values,
+	// indexed assignments): closes through them are per-element and are
+	// not tracked.
+	aliased := map[types.Object]bool{}
+	for _, fi := range cg.Funcs {
+		inspectOwn(fi.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if v, ok := n.Value.(*ast.Ident); ok && v.Name != "_" {
+					if obj := pass.TypesInfo.ObjectOf(v); obj != nil {
+						aliased[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if _, idx := ast.Unparen(n.Rhs[i]).(*ast.IndexExpr); idx {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+								aliased[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 1: summaries — the set of channel *fields* each function may
+	// close, directly or through same-package callees.
+	closes := map[*FuncInfo]map[types.Object]bool{}
+	cg.Fixpoint(func(fi *FuncInfo) bool {
+		next := map[types.Object]bool{}
+		calls := map[*ast.CallExpr]*CallSite{}
+		for _, site := range fi.Sites {
+			calls[site.Call] = site
+		}
+		inspectOwn(fi.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := closeTarget(pass, aliased, call); obj != nil {
+				if v, isVar := obj.(*types.Var); isVar && v.IsField() {
+					next[obj] = true
+				}
+				return true
+			}
+			if site := calls[call]; site != nil {
+				for _, t := range site.Targets {
+					for obj := range closes[t] {
+						next[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		prev := closes[fi]
+		if len(prev) == len(next) {
+			same := true
+			for k := range next {
+				if !prev[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return false
+			}
+		}
+		closes[fi] = next
+		return true
+	})
+
+	// Phase 2: per-function path-sensitive check.
+	for _, fi := range cg.Funcs {
+		checkChanClose(pass, fi, aliased, closes)
+	}
+	return nil
+}
+
+// closeTarget returns the trackable identity a `close(...)` call
+// targets, or nil.
+func closeTarget(pass *Pass, aliased map[types.Object]bool, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return chanRoot(pass, aliased, call.Args[0])
+}
+
+func checkChanClose(pass *Pass, fi *FuncInfo, aliased map[types.Object]bool,
+	closes map[*FuncInfo]map[types.Object]bool) {
+
+	// Track every identity this body closes or sends on.
+	bits := map[types.Object]int{}
+	track := func(obj types.Object) {
+		if obj == nil {
+			return
+		}
+		if _, seen := bits[obj]; !seen {
+			bits[obj] = len(bits)
+		}
+	}
+	inspectOwn(fi.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			track(closeTarget(pass, aliased, n))
+		case *ast.SendStmt:
+			track(chanRoot(pass, aliased, n.Chan))
+		}
+		return true
+	})
+	if len(bits) == 0 {
+		return
+	}
+	calls := map[*ast.CallExpr]*CallSite{}
+	for _, site := range fi.Sites {
+		calls[site.Call] = site
+	}
+
+	cfg := BuildCFG(fi.Body)
+	apply := func(n ast.Node, state BitSet, report func(pos token.Pos, obj types.Object, kind string)) {
+		inspectOwn(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.GoStmt); ok {
+				return false // the spawned body is its own function
+			}
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if obj := closeTarget(pass, aliased, m); obj != nil {
+					i := bits[obj]
+					if state.Has(i) && report != nil {
+						report(m.Pos(), obj, "close")
+					}
+					state.Set(i)
+					return true
+				}
+				if site := calls[m]; site != nil {
+					for _, t := range site.Targets {
+						for obj := range closes[t] {
+							if i, ok := bits[obj]; ok {
+								state.Set(i)
+							}
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if obj := chanRoot(pass, aliased, m.Chan); obj != nil {
+					if state.Has(bits[obj]) && report != nil {
+						report(m.Pos(), obj, "send")
+					}
+				}
+			}
+			return true
+		})
+	}
+	transfer := func(b *Block, in BitSet) []BitSet {
+		out := in
+		for _, n := range b.Nodes {
+			apply(n, out, nil)
+		}
+		return UniformOuts(b, out)
+	}
+	ins := cfg.Flow(FlowSpec{Bits: len(bits), Must: false, Transfer: transfer})
+
+	reported := map[token.Pos]bool{}
+	var findings []struct {
+		pos  token.Pos
+		obj  types.Object
+		kind string
+	}
+	for i, b := range cfg.Blocks {
+		state := ins[i].Clone()
+		for _, n := range b.Nodes {
+			apply(n, state, func(pos token.Pos, obj types.Object, kind string) {
+				if reported[pos] {
+					return
+				}
+				reported[pos] = true
+				findings = append(findings, struct {
+					pos  token.Pos
+					obj  types.Object
+					kind string
+				}{pos, obj, kind})
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		switch f.kind {
+		case "close":
+			pass.Reportf(f.pos,
+				"%s: close of %q, which may already be closed on this path "+
+					"(double close panics); guard the close or make one owner "+
+					"responsible for shutdown",
+				fi.Name, f.obj.Name())
+		case "send":
+			pass.Reportf(f.pos,
+				"%s: send on %q, which may already be closed on this path "+
+					"(send on closed channel panics); senders must be quiesced "+
+					"before close",
+				fi.Name, f.obj.Name())
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GoroLeak requires every `go` statement's goroutine to have a
+// statically provable exit, making the engine's hedged-read comment
+// ("a loser never blocks or leaks") a checked property:
+//
+//   - A range over a channel is an exit when some function in the
+//     package closes that channel (aliases through range variables and
+//     element indexing are followed, so `for _, q := range e.queues {
+//     close(q) }` proves `for job := range e.queues[d]`).
+//   - `for {}` loops must contain a return or break.
+//   - A receive outside select on a channel local to the spawning
+//     function must have a sender or a close somewhere in it.
+//   - A send from a spawned goroutine on a channel made in the spawning
+//     function must be provably non-blocking: constant capacity at
+//     least the number of static goroutine send sites (the hedged-read
+//     pattern), or a select with a default or an escape case
+//     (ctx.Done(), a closed channel). Violations are reported once per
+//     channel, at its make site.
+//
+// Sends and receives on channels the analysis cannot see end-to-end
+// (struct fields fed as data, parameters) are not flagged: the policy
+// is zero false positives on code whose other end lives elsewhere, and
+// the race/chaos suites own those interleavings. Spawns that resolve
+// outside the package are skipped for the same reason.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every spawned goroutine must have a statically provable exit " +
+		"(range over a closed channel, bounded loop, guaranteed-buffered " +
+		"send); losing senders on under-buffered channels leak forever",
+	Run: runGoroLeak,
+}
+
+// chanMake is one `make(chan T, c)` assigned to a variable in a
+// spawning function.
+type chanMake struct {
+	obj     types.Object
+	name    string
+	makePos token.Pos
+	capVal  int  // constant capacity; 0 when absent
+	capOK   bool // capacity is a compile-time constant (or absent)
+	// goSends counts static send statements on this channel inside
+	// goroutines spawned by the same function; loopSend marks any of
+	// them sitting inside a loop (unbounded senders).
+	goSends  int
+	loopSend bool
+	// anySends counts send statements on the channel anywhere in the
+	// function, including its literals — liveness witness for receives.
+	anySends int
+}
+
+func runGoroLeak(pass *Pass) error {
+	if !inConcurrencyScope(pass.Pkg.Path()) {
+		return nil
+	}
+	cg := BuildCallGraph(pass)
+	closed := collectClosedChans(pass, cg)
+
+	reportedNode := map[token.Pos]bool{}
+	badChans := map[types.Object]*chanMake{}
+
+	for _, fi := range cg.Funcs {
+		var goStmts []*ast.GoStmt
+		inspectOwn(fi.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goStmts = append(goStmts, g)
+			}
+			return true
+		})
+		if len(goStmts) == 0 {
+			continue
+		}
+		chans := collectChanMakes(pass, fi, goStmts)
+		for _, g := range goStmts {
+			for _, t := range cg.GoTargets(pass, g) {
+				checkGoroBody(pass, t, closed, chans, reportedNode, badChans)
+			}
+		}
+	}
+
+	var bad []*chanMake
+	for _, cm := range badChans {
+		bad = append(bad, cm)
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].makePos < bad[j].makePos })
+	for _, cm := range bad {
+		pass.Reportf(cm.makePos,
+			"channel %q has %d static goroutine sender(s) but capacity %d and no "+
+				"guaranteed receiver: a losing sender blocks forever and leaks its "+
+				"goroutine; buffer it to the sender count or select on an escape",
+			cm.name, cm.goSends, cm.capVal)
+	}
+	return nil
+}
+
+// collectClosedChans returns the identity objects of every channel some
+// function in the package closes, following one level of aliasing: a
+// close of a range variable or element records the ranged/indexed
+// container's field, so closing each element of e.queues marks the
+// queues field closed.
+func collectClosedChans(pass *Pass, cg *CallGraph) map[types.Object]bool {
+	closed := map[types.Object]bool{}
+	for _, fi := range cg.Funcs {
+		alias := map[types.Object]types.Object{}
+		inspectOwn(fi.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if v, ok := n.Value.(*ast.Ident); ok && v.Name != "_" {
+					if from := pass.TypesInfo.ObjectOf(v); from != nil {
+						if to, _ := rootSelObj(pass.TypesInfo, n.X); to != nil {
+							alias[from] = to
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						if from := pass.TypesInfo.ObjectOf(id); from != nil {
+							if to, _ := rootSelObj(pass.TypesInfo, n.Rhs[0]); to != nil && to != from {
+								alias[from] = to
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		inspectOwn(fi.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "close" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			obj, _ := rootSelObj(pass.TypesInfo, call.Args[0])
+			if obj == nil {
+				return true
+			}
+			if to, ok := alias[obj]; ok {
+				obj = to
+			}
+			closed[obj] = true
+			return true
+		})
+	}
+	return closed
+}
+
+// collectChanMakes indexes the channels made directly in fi's body and
+// counts send sites on them.
+func collectChanMakes(pass *Pass, fi *FuncInfo, goStmts []*ast.GoStmt) map[types.Object]*chanMake {
+	chans := map[types.Object]*chanMake{}
+	record := func(id *ast.Ident, call *ast.CallExpr) {
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "make" || len(call.Args) < 1 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		cm := &chanMake{obj: obj, name: id.Name, makePos: call.Pos(), capOK: true}
+		if len(call.Args) >= 2 {
+			cv, ok := pass.TypesInfo.Types[call.Args[1]]
+			if ok && cv.Value != nil {
+				if v, exact := constant.Int64Val(constant.ToInt(cv.Value)); exact {
+					cm.capVal = int(v)
+				} else {
+					cm.capOK = false
+				}
+			} else {
+				cm.capOK = false // runtime capacity: unknown
+			}
+		}
+		chans[obj] = cm
+	}
+	inspectOwn(fi.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+					record(id, call)
+				}
+			}
+		}
+		return true
+	})
+
+	countSends := func(root ast.Node, inGo bool) {
+		var depth int
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.ForStmt:
+					depth++
+					if m.Init != nil {
+						walk(m.Init)
+					}
+					walk(m.Body)
+					depth--
+					return false
+				case *ast.RangeStmt:
+					depth++
+					walk(m.Body)
+					depth--
+					return false
+				case *ast.SendStmt:
+					obj, _ := rootSelObj(pass.TypesInfo, m.Chan)
+					if cm := chans[obj]; cm != nil {
+						cm.anySends++
+						if inGo {
+							cm.goSends++
+							if depth > 0 {
+								cm.loopSend = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		walk(root)
+	}
+	// Sends inside the goroutines this function spawns (literal bodies).
+	for _, g := range goStmts {
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			countSends(lit.Body, true)
+		}
+	}
+	// Sends anywhere else in the function (liveness witnesses for
+	// receives): the body's own nodes plus non-go literals.
+	inspectOwn(fi.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			obj, _ := rootSelObj(pass.TypesInfo, s.Chan)
+			if cm := chans[obj]; cm != nil {
+				cm.anySends++
+			}
+		}
+		return true
+	})
+	return chans
+}
+
+// checkGoroBody proves (or fails to prove) one spawned body's exit.
+func checkGoroBody(pass *Pass, t *FuncInfo, closed map[types.Object]bool,
+	chans map[types.Object]*chanMake, reportedNode map[token.Pos]bool,
+	badChans map[types.Object]*chanMake) {
+
+	selectOf, hasDefault := indexSelectComms(t.Body)
+	report := func(pos token.Pos, format string, args ...any) {
+		if reportedNode[pos] {
+			return
+		}
+		reportedNode[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	inspectOwn(t.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			obj, _ := rootSelObj(pass.TypesInfo, n.X)
+			if obj == nil || !closed[obj] {
+				report(n.Pos(),
+					"goroutine %s ranges over a channel no function in this package "+
+						"closes: the loop never exits and the goroutine leaks; close "+
+						"the channel on the shutdown path",
+					t.Name)
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopHasExit(n.Body) {
+				report(n.Pos(),
+					"goroutine %s loops forever with no return or break: no "+
+						"statically provable exit; add a shutdown case (ctx.Done(), "+
+						"closed channel) that returns",
+					t.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || selectOf[n] != nil {
+				return true
+			}
+			if _, isCall := ast.Unparen(n.X).(*ast.CallExpr); isCall {
+				return true // <-x.Done(): the callee owns delivery
+			}
+			obj, _ := rootSelObj(pass.TypesInfo, n.X)
+			if cm := chans[obj]; cm != nil && !closed[obj] && cm.anySends == 0 {
+				report(n.Pos(),
+					"goroutine %s receives from %q, which is never sent on or closed "+
+						"in the spawning function: the receive blocks forever",
+					t.Name, cm.name)
+			}
+		case *ast.SendStmt:
+			obj, _ := rootSelObj(pass.TypesInfo, n.Chan)
+			cm := chans[obj]
+			if cm == nil {
+				return true // other end lives elsewhere: out of scope
+			}
+			if sel := selectOf[n]; sel != nil {
+				if hasDefault[sel] || selectHasEscape(pass, sel, closed) {
+					return true
+				}
+			}
+			if closed[obj] {
+				return true // a close guarantees... nothing for senders, but chanclose owns send-after-close
+			}
+			if !cm.capOK || cm.loopSend || cm.capVal < cm.goSends {
+				badChans[obj] = cm
+			}
+		}
+		return true
+	})
+}
+
+// loopHasExit reports whether a `for {}` body contains a return, break
+// or goto among its own nodes (an over-approximation: a break may
+// target an inner switch — accepted to keep false positives at zero).
+func loopHasExit(body *ast.BlockStmt) bool {
+	found := false
+	inspectOwn(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// indexSelectComms maps every node inside a select communication clause
+// to its select, and records which selects have a default.
+func indexSelectComms(body *ast.BlockStmt) (map[ast.Node]*ast.SelectStmt, map[*ast.SelectStmt]bool) {
+	selectOf := map[ast.Node]*ast.SelectStmt{}
+	hasDefault := map[*ast.SelectStmt]bool{}
+	inspectOwn(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			comm := c.(*ast.CommClause)
+			if comm.Comm == nil {
+				hasDefault[sel] = true
+				continue
+			}
+			ast.Inspect(comm.Comm, func(m ast.Node) bool {
+				if m != nil {
+					selectOf[m] = sel
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return selectOf, hasDefault
+}
+
+// selectHasEscape reports whether a select has a receive case that is
+// guaranteed deliverable eventually: a receive from a call result
+// (ctx.Done(), time.After) or from a channel the package closes.
+func selectHasEscape(pass *Pass, sel *ast.SelectStmt, closed map[types.Object]bool) bool {
+	for _, c := range sel.Body.List {
+		comm := c.(*ast.CommClause)
+		if comm.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		u, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			continue
+		}
+		if _, isCall := ast.Unparen(u.X).(*ast.CallExpr); isCall {
+			return true
+		}
+		if obj, _ := rootSelObj(pass.TypesInfo, u.X); obj != nil && closed[obj] {
+			return true
+		}
+	}
+	return false
+}

@@ -86,6 +86,10 @@ func All() []*Analyzer {
 		FsyncOrder,
 		CtxCancel,
 		ErrLost,
+		LockOrder,
+		GoroLeak,
+		WgBalance,
+		ChanClose,
 	}
 }
 

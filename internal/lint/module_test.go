@@ -72,6 +72,35 @@ func Stale() T {
 	}
 }
 
+// TestSortFindings pins the module-wide output order: findings are
+// sorted by file, line, column, analyzer, then message — independent of
+// package load order — so the text, -github and SARIF outputs are
+// byte-stable across runs.
+func TestSortFindings(t *testing.T) {
+	pos := func(file string, line, col int) token.Position {
+		return token.Position{Filename: file, Line: line, Column: col}
+	}
+	findings := []Finding{
+		{Position: pos("b.go", 3, 1), Analyzer: "goroleak", Message: "m1"},
+		{Position: pos("a.go", 9, 2), Analyzer: "lockorder", Message: "m2"},
+		{Position: pos("a.go", 9, 2), Analyzer: "chanclose", Message: "m3"},
+		{Position: pos("a.go", 9, 1), Analyzer: "wgbalance", Message: "m4"},
+		{Position: pos("a.go", 2, 5), Analyzer: "lockorder", Message: "m5"},
+		{Position: pos("a.go", 9, 2), Analyzer: "chanclose", Message: "m0"},
+	}
+	sortFindings(findings)
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	want := []string{"m5", "m4", "m0", "m3", "m2", "m1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
 // TestWriteSARIF round-trips a small findings set through the writer
 // and checks the 2.1.0 shape GitHub ingests: version, rule table,
 // per-result level and repo-relative location.
@@ -134,7 +163,8 @@ func TestWriteSARIF(t *testing.T) {
 	for _, r := range run.Tool.Driver.Rules {
 		ruleIDs[r.ID] = true
 	}
-	for _, want := range []string{"tracepair", "fsyncorder", "ctxcancel", "errlost", "audit", "lint"} {
+	for _, want := range []string{"tracepair", "fsyncorder", "ctxcancel", "errlost",
+		"lockorder", "goroleak", "wgbalance", "chanclose", "audit", "lint"} {
 		if !ruleIDs[want] {
 			t.Errorf("rule table missing %q", want)
 		}

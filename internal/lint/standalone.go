@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -63,6 +64,8 @@ func Standalone(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	sortFindings(findings)
+
 	for _, f := range findings {
 		fmt.Fprintf(stdout, "%s: [%s] %s\n", f.Position, f.Analyzer, f.Message)
 		if *github {
@@ -99,6 +102,31 @@ func Standalone(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// sortFindings orders module-wide findings by file, line, column,
+// analyzer, then message. Within one package diagnostics are already
+// position-sorted, but token.Pos values are FileSet-relative, so the
+// concatenation across packages follows load order; sorting on the
+// resolved positions makes the text, -github and SARIF outputs stable
+// run to run and diffable across runs.
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }
 
 // githubEscape encodes the characters the workflow-command parser

@@ -1,0 +1,83 @@
+// Package chanclose is golden-test input for the chanclose analyzer:
+// double close and send-after-close on a may-closed path, including
+// closes reached through same-package helpers, with the engine's
+// per-element shutdown loop and flag-guarded close left clean.
+package chanclose
+
+// doubleClose closes the same local channel twice on one path.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "close of .ch., which may already be closed"
+}
+
+// sendAfterClose sends on a channel after closing it.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on .ch., which may already be closed"
+}
+
+// condDouble may have closed ch on the branch before the second close.
+func condDouble(ch chan int, b bool) {
+	if b {
+		close(ch)
+	}
+	close(ch) // want "close of .ch., which may already be closed"
+}
+
+// branchClose closes on one path and sends on the other: the facts
+// never meet, so the send is clean (path sensitivity).
+func branchClose(ch chan int, b bool) {
+	if b {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// conn.Close reaches a second close of the same field through the
+// shutdown helper: caught via the helper's close summary.
+type conn struct{ done chan struct{} }
+
+func (c *conn) shutdown() { close(c.done) }
+
+func (c *conn) Close() {
+	c.shutdown()
+	close(c.done) // want "close of .done., which may already be closed"
+}
+
+// hub.Close is the engine shutdown shape: one close of the broadcast
+// field, then per-element closes through the range variable. Element
+// identity is untracked by design, so the loop is clean.
+type hub struct {
+	queues []chan int
+	closed chan struct{}
+}
+
+func (h *hub) Close() {
+	close(h.closed)
+	for _, q := range h.queues {
+		close(q)
+	}
+}
+
+// owner guards its close with a flag; only one close site exists, and
+// callers go through shutdown, so nothing is flagged.
+type owner struct {
+	stopped bool
+	done    chan struct{}
+}
+
+func (o *owner) shutdown() {
+	if o.stopped {
+		return
+	}
+	o.stopped = true
+	close(o.done)
+}
+
+func (o *owner) CloseTwice() {
+	o.shutdown()
+	o.shutdown()
+}

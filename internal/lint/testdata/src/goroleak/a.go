@@ -1,0 +1,122 @@
+// Package goroleak is golden-test input for the goroleak analyzer: the
+// mock engine mirrors internal/exec's worker/queue/hedged-read shapes
+// so the same proofs (range over a closed field, buffered-send
+// arithmetic, alias-following close loops) are exercised on stdlib-only
+// code.
+package goroleak
+
+import "context"
+
+type job struct{ out chan int }
+
+type engine struct {
+	queues []chan job
+	closed chan struct{}
+	dead   chan job
+}
+
+// start mirrors Engine.New: the worker ranges over a queue that Close
+// provably closes (through the range-variable alias), so its exit is
+// proven.
+func (e *engine) start() {
+	for d := range e.queues {
+		d := d
+		go e.worker(d)
+	}
+}
+
+func (e *engine) worker(d int) {
+	for j := range e.queues[d] {
+		_ = j
+	}
+}
+
+// Close closes every queue element; the alias q -> e.queues is
+// followed, proving the workers' ranges exit.
+func (e *engine) Close() {
+	close(e.closed)
+	for _, q := range e.queues {
+		close(q)
+	}
+}
+
+// leakyWorker ranges over a channel no function in the package closes.
+func (e *engine) spawnLeaky() {
+	go e.leakyWorker()
+}
+
+func (e *engine) leakyWorker() {
+	for j := range e.dead { // want "ranges over a channel no function in this package closes"
+		_ = j
+	}
+}
+
+// readHedged mirrors the engine's hedged read: two senders, capacity
+// two — a loser never blocks or leaks. The unbuffered variant below is
+// the checked failure.
+func readHedged(fetch func() int) int {
+	out := make(chan int, 2)
+	go func() { out <- fetch() }()
+	go func() { out <- fetch() }()
+	return <-out
+}
+
+func readHedgedUnbuffered(fetch func() int) int {
+	out := make(chan int) // want "channel .out. has 2 static goroutine sender.s. but capacity 0"
+	go func() { out <- fetch() }()
+	go func() { out <- fetch() }()
+	return <-out
+}
+
+// selectEscape sends through a select with a ctx.Done escape: the
+// loser takes the escape, so an unbuffered channel is fine.
+func selectEscape(ctx context.Context, fetch func() int) int {
+	out := make(chan int)
+	go func() {
+		select {
+		case out <- fetch():
+		case <-ctx.Done():
+		}
+	}()
+	return <-out
+}
+
+// spinForever has no return, break or shutdown case.
+func spinForever(tick func()) {
+	go func() {
+		for { // want "loops forever with no return or break"
+			tick()
+		}
+	}()
+}
+
+// loopWithShutdown exits through the closed channel's case.
+func (e *engine) loopWithShutdown(tick func()) {
+	go func() {
+		for {
+			select {
+			case <-e.closed:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+// recvNever receives from a channel nothing ever sends on or closes.
+func recvNever() {
+	ch := make(chan int)
+	go func() {
+		<-ch // want "receives from .ch., which is never sent on or closed"
+	}()
+}
+
+// recvFed is the same shape with a sender in the spawning function.
+func recvFed() {
+	ch := make(chan int, 1)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}

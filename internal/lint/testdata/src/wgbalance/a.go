@@ -1,0 +1,128 @@
+// Package wgbalance is golden-test input for the wgbalance analyzer.
+// The pool/runner mocks mirror internal/exec's worker lifecycle
+// (Add-per-worker before spawn, deferred Done, Wait in Close) so the
+// clean cases are the engine's real shapes.
+package wgbalance
+
+import "sync"
+
+type pool struct {
+	workers sync.WaitGroup
+	queues  []chan int
+}
+
+// start is the engine-worker idiom: Add dominates the spawn, the body
+// defers Done, Close waits after closing the queues. Clean.
+func (p *pool) start() {
+	for i := range p.queues {
+		p.workers.Add(1)
+		i := i
+		go func() {
+			defer p.workers.Done()
+			for v := range p.queues[i] {
+				_ = v
+			}
+		}()
+	}
+}
+
+func (p *pool) Close() {
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.workers.Wait()
+}
+
+// addNoDone spawns a goroutine that never Dones the added WaitGroup:
+// Wait hangs forever. Reported once, at the Add.
+func addNoDone(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "wg.Add has no matching Done"
+	go func() {
+		work()
+	}()
+	wg.Wait()
+}
+
+// doneNoAdd spawns a goroutine that Dones with no Add on any path
+// before the spawn: Wait can return before the goroutine runs.
+func doneNoAdd(work func()) {
+	var wg sync.WaitGroup
+	go func() { // want "goroutine calls wg.Done but no wg.Add is guaranteed before this spawn"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// conditionalAdd has an Add on only one path to the spawn.
+func conditionalAdd(n int, work func()) {
+	var wg sync.WaitGroup
+	if n > 0 {
+		wg.Add(1)
+	}
+	go func() { // want "no wg.Add is guaranteed before this spawn"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// partialDone's goroutine skips Done on the fallthrough path.
+func partialDone(b bool, work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "calls wg.Done on some paths but not on every non-panic exit"
+		if b {
+			wg.Done()
+			return
+		}
+		work()
+	}()
+	wg.Wait()
+}
+
+// addInside performs the Add from inside the spawned goroutine: Wait
+// races the Add. The spawn is also flagged because no Add is guaranteed
+// before it.
+func addInside(work func()) {
+	var wg sync.WaitGroup
+	go func() { // want "goroutine calls wg.Done but no wg.Add is guaranteed before this spawn"
+		wg.Add(1) // want "wg.Add inside the spawned goroutine races Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// session splits Add and Done across methods with no spawn in either:
+// a cross-function protocol the analyzer deliberately leaves to the
+// race detector. Clean.
+type session struct{ wg sync.WaitGroup }
+
+func (s *session) begin() { s.wg.Add(1) }
+func (s *session) end()   { s.wg.Done() }
+
+// runner spawns a named method whose body is resolved through the call
+// graph: the deferred Done in loop balances the Add in start. Clean.
+type runner struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (r *runner) start() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+func (r *runner) loop() {
+	defer r.wg.Done()
+	for v := range r.ch {
+		_ = v
+	}
+}
+
+func (r *runner) stop() {
+	close(r.ch)
+	r.wg.Wait()
+}

@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WgBalance proves sync.WaitGroup Add/Done pairing around `go`
+// statements, path-sensitively:
+//
+//   - Add-dominates-spawn: a spawn whose goroutine calls wg.Done must
+//     have a wg.Add on every path leading to the `go` statement —
+//     otherwise Wait can return before the goroutine runs.
+//   - Done-on-every-exit: when the spawned body calls wg.Done at all,
+//     it must do so on every non-panic exit path (a deferred Done
+//     counts from registration) — a skipped Done hangs Wait forever.
+//   - Unconsumed Add: an Add in a spawning function whose goroutines
+//     never Done that WaitGroup (and that the function itself never
+//     Dones) hangs Wait; reported once, at the Add.
+//   - Add-inside-goroutine: an Add on a captured WaitGroup from inside
+//     the spawned literal races Wait; Add must happen before the spawn.
+//
+// The checks run only in functions that themselves spawn goroutines:
+// cross-function protocols (an Add in begin() paired with a deferred
+// Done in the query path) are deliberate designs whose balance the
+// race detector and engine Close tests own. WaitGroup identity is the
+// root variable or field object, so the spawning function and the
+// spawned body (a method, or a literal capturing a local) agree on
+// which WaitGroup they mean.
+var WgBalance = &Analyzer{
+	Name: "wgbalance",
+	Doc: "WaitGroup Add must dominate the go statement that Dones it, the " +
+		"spawned body must Done on every non-panic exit, and an Add no " +
+		"goroutine consumes hangs Wait",
+	Run: runWgBalance,
+}
+
+// wgCall classifies a call as WaitGroup Add/Done/Wait on an
+// identifiable WaitGroup, returning its identity object.
+func wgCall(pass *Pass, call *ast.CallExpr) (method string, obj types.Object, ok bool) {
+	rt, m, recv, isSync := syncMethod(pass.TypesInfo, call)
+	if !isSync || rt != "WaitGroup" {
+		return "", nil, false
+	}
+	switch m {
+	case "Add", "Done", "Wait":
+	default:
+		return "", nil, false
+	}
+	o, _ := rootSelObj(pass.TypesInfo, recv)
+	if o == nil {
+		return "", nil, false
+	}
+	return m, o, true
+}
+
+func runWgBalance(pass *Pass) error {
+	if !inConcurrencyScope(pass.Pkg.Path()) {
+		return nil
+	}
+	cg := BuildCallGraph(pass)
+	for _, fi := range cg.Funcs {
+		checkWgFunc(pass, cg, fi)
+	}
+	return nil
+}
+
+func checkWgFunc(pass *Pass, cg *CallGraph, fi *FuncInfo) {
+	var goStmts []*ast.GoStmt
+	inspectOwn(fi.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goStmts = append(goStmts, g)
+		}
+		return true
+	})
+	if len(goStmts) == 0 {
+		return
+	}
+
+	// Which WaitGroups does each spawn's body Done, and on which paths?
+	type spawn struct {
+		g       *ast.GoStmt
+		dones   map[types.Object]bool // Done called somewhere in the body
+		onEvery map[types.Object]bool // Done called on every non-panic exit
+	}
+	spawns := make([]*spawn, 0, len(goStmts))
+	consumed := map[types.Object]bool{} // wg objects some spawn Dones (on all exits)
+	for _, g := range goStmts {
+		sp := &spawn{g: g, dones: map[types.Object]bool{}, onEvery: map[types.Object]bool{}}
+		for _, t := range cg.GoTargets(pass, g) {
+			bodyWgDones(pass, t.Body, sp.dones)
+			for obj := range sp.dones {
+				if wgDoneOnAllExits(pass, t.Body, obj) {
+					sp.onEvery[obj] = true
+				}
+			}
+			// Rule: Add inside the spawned literal on a captured
+			// WaitGroup races Wait.
+			if t.Lit != nil {
+				inspectOwn(t.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if m, obj, ok := wgCall(pass, call); ok && m == "Add" {
+						if v, isVar := obj.(*types.Var); isVar && !v.IsField() && definedOutside(v, t.Lit) {
+							pass.Reportf(call.Pos(),
+								"%s: wg.Add inside the spawned goroutine races Wait "+
+									"(Wait may run before the Add); move the Add before "+
+									"the go statement",
+								fi.Name)
+						}
+					}
+					return true
+				})
+			}
+		}
+		for obj := range sp.onEvery {
+			consumed[obj] = true
+		}
+		spawns = append(spawns, sp)
+	}
+
+	// Collect this function's own Adds/Dones (outside spawned bodies;
+	// inspectOwn already excludes literals) per WaitGroup.
+	type addSite struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var adds []addSite
+	selfDones := map[types.Object]bool{}
+	addObjs := map[types.Object]int{} // bit index per WaitGroup with Adds
+	inspectOwn(fi.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m, obj, ok := wgCall(pass, call)
+		if !ok {
+			return true
+		}
+		switch m {
+		case "Add":
+			adds = append(adds, addSite{call.Pos(), obj})
+			if _, seen := addObjs[obj]; !seen {
+				addObjs[obj] = len(addObjs)
+			}
+		case "Done":
+			selfDones[obj] = true
+		}
+		return true
+	})
+
+	// Rule: Add-dominates-spawn. Must-analysis: bit(wg) = "an Add on wg
+	// was executed on every path to here".
+	if len(addObjs) > 0 || len(consumed) > 0 {
+		// Bits for every wg any spawn Dones, whether or not it has Adds
+		// here — a spawn Doning a wg with no Add at all must also fire.
+		bits := map[types.Object]int{}
+		for obj := range addObjs {
+			bits[obj] = len(bits)
+		}
+		for _, sp := range spawns {
+			for obj := range sp.dones {
+				if _, seen := bits[obj]; !seen {
+					bits[obj] = len(bits)
+				}
+			}
+		}
+		cfg := BuildCFG(fi.Body)
+		apply := func(n ast.Node, state BitSet, report bool) {
+			inspectOwn(n, func(m ast.Node) bool {
+				if g, ok := m.(*ast.GoStmt); ok {
+					if report {
+						for _, sp := range spawns {
+							if sp.g != g {
+								continue
+							}
+							for obj := range sp.dones {
+								if i, ok := bits[obj]; ok && !state.Has(i) {
+									pass.Reportf(g.Pos(),
+										"%s: goroutine calls %s.Done but no %s.Add is "+
+											"guaranteed before this spawn: Wait can return "+
+											"early; Add before the go statement on every path",
+										fi.Name, wgName(obj), wgName(obj))
+								}
+							}
+						}
+					}
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if meth, obj, ok := wgCall(pass, call); ok && meth == "Add" {
+					if i, ok := bits[obj]; ok {
+						state.Set(i)
+					}
+				}
+				return true
+			})
+		}
+		transfer := func(b *Block, in BitSet) []BitSet {
+			out := in
+			for _, n := range b.Nodes {
+				apply(n, out, false)
+			}
+			return UniformOuts(b, out)
+		}
+		entry := NewBitSet(len(bits)) // nothing Added at entry
+		ins := cfg.Flow(FlowSpec{Bits: len(bits), Must: true, Entry: entry, Transfer: transfer})
+		reportedOnce := map[token.Pos]bool{}
+		for i, b := range cfg.Blocks {
+			state := ins[i].Clone()
+			for _, n := range b.Nodes {
+				if !reportedOnce[n.Pos()] {
+					reportedOnce[n.Pos()] = true
+					apply(n, state, true)
+				} else {
+					apply(n, state, false)
+				}
+			}
+		}
+	}
+
+	// Rule: Done-on-every-exit of the spawned body.
+	for _, sp := range spawns {
+		for obj := range sp.dones {
+			if !sp.onEvery[obj] {
+				pass.Reportf(sp.g.Pos(),
+					"%s: the spawned goroutine calls %s.Done on some paths but not on "+
+						"every non-panic exit: a skipped Done hangs Wait; use `defer "+
+						"%s.Done()` at the top of the body",
+					fi.Name, wgName(obj), wgName(obj))
+			}
+		}
+	}
+
+	// Rule: unconsumed Add — report once per WaitGroup, at its first Add.
+	reportedAdd := map[types.Object]bool{}
+	for _, a := range adds {
+		if consumed[a.obj] || selfDones[a.obj] || reportedAdd[a.obj] {
+			continue
+		}
+		// A spawn that Dones on *some* path already gets the
+		// Done-on-every-exit report above; don't double-report here.
+		partial := false
+		for _, sp := range spawns {
+			if sp.dones[a.obj] {
+				partial = true
+				break
+			}
+		}
+		if partial {
+			continue
+		}
+		reportedAdd[a.obj] = true
+		pass.Reportf(a.pos,
+			"%s: %s.Add has no matching Done: none of the goroutines spawned here "+
+				"calls %s.Done and the function never does, so Wait hangs forever",
+			fi.Name, wgName(a.obj), wgName(a.obj))
+	}
+}
+
+// bodyWgDones records which WaitGroups a body Dones anywhere (its own
+// nodes; a deferred Done is a DeferStmt node and is included).
+func bodyWgDones(pass *Pass, body *ast.BlockStmt, out map[types.Object]bool) {
+	inspectOwn(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, obj, ok := wgCall(pass, call); ok && m == "Done" {
+			out[obj] = true
+		}
+		return true
+	})
+}
+
+// wgDoneOnAllExits runs a must-analysis over the body: "Done executed"
+// is genned by a Done call or the registration of a defer containing
+// one, and must hold at the normal exit.
+func wgDoneOnAllExits(pass *Pass, body *ast.BlockStmt, wg types.Object) bool {
+	cfg := BuildCFG(body)
+	transfer := func(b *Block, in BitSet) []BitSet {
+		out := in
+		for _, n := range b.Nodes {
+			inspectOwn(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if meth, obj, ok := wgCall(pass, call); ok && meth == "Done" && obj == wg {
+					out.Set(0)
+				}
+				return true
+			})
+		}
+		return UniformOuts(b, out)
+	}
+	entry := NewBitSet(1)
+	ins := cfg.Flow(FlowSpec{Bits: 1, Must: true, Entry: entry, Transfer: transfer})
+	return ins[cfg.Exit].Has(0)
+}
+
+// definedOutside reports whether v's declaration lies outside lit.
+func definedOutside(v *types.Var, lit *ast.FuncLit) bool {
+	return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+}
+
+// wgName renders a WaitGroup identity for diagnostics.
+func wgName(obj types.Object) string { return obj.Name() }

@@ -7,7 +7,7 @@ import "sync"
 // also handy for ad-hoc profiling of a single query.
 type Collector struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event // guarded by mu
 }
 
 // Observe implements QueryObserver.
