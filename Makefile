@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Duration per fuzz target in the `fuzz` smoke target.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet analyze analyze-sarif analyze-budget audit test race lint bench bench-json bench-check fuzz chaos chaos-full crash crash-full full
+.PHONY: all build vet analyze analyze-sarif analyze-budget audit test race lint bench bench-json bench-check fuzz chaos chaos-full crash crash-full serve-test serve-soak full
 
 all: build vet analyze test
 
@@ -136,6 +136,21 @@ crash:
 crash-full:
 	$(GO) test -race -run $(CRASH_RUN) ./internal/pagestore/ ./internal/exec/ ./internal/core/
 
+## serve-test: the network query service integration suite under the
+## race detector — N concurrent HTTP clients bit-identical to the
+## sequential driver, scripted load shedding, per-tenant quota
+## exhaustion, graceful-shutdown drain, and the real-engine saturation
+## scenario. The PR CI server job runs this target.
+serve-test:
+	$(GO) test -race -run 'Server|Serve|Tenant|DebugServer|Coalesce' ./internal/server/ ./internal/obs/ ./internal/exec/
+
+## serve-soak: the nightly serving soak — a sustained storm of HTTP
+## clients against a real spiked engine with quotas and admission
+## control live, ending in a graceful drain (SERVE_SOAK gates the
+## 30-second run).
+serve-soak:
+	SERVE_SOAK=1 $(GO) test -race -run TestServeSoak -v ./internal/server/
+
 ## full: everything the manually-dispatched nightly job runs.
 ## govulncheck needs network access to the vuln DB, so it is skipped
 ## (with a notice) when the pinned binary cannot be installed.
@@ -145,6 +160,8 @@ full:
 	$(MAKE) analyze
 	$(MAKE) chaos-full
 	$(MAKE) crash-full
+	$(MAKE) serve-test
+	$(MAKE) serve-soak
 	$(MAKE) bench
 	OBS_OVERHEAD=1 $(GO) test -run TestObservedOverhead -v .
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput/engine-workers=10x2$$|BenchmarkEngineObserved' -benchtime 2s .

@@ -8,6 +8,12 @@
 //	simquery -set california -disks 10 -k 10 -alg crss
 //	simquery -file data.bin -disks 5 -k 100 -alg bbss -timing
 //	simquery -set gaussian -n 20000 -dim 5 -k 20 -alg all -timing
+//
+// With -serve it instead exposes the concurrent engine as an HTTP/JSON
+// query service (POST /v1/knn) with per-tenant quotas, queue-depth
+// admission control and graceful SIGTERM drain:
+//
+//	simquery -set california -disks 10 -serve :8080 -coalesce -watermark 32 -quota-rate 100
 package main
 
 import (
@@ -18,13 +24,16 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/server"
 )
 
 func main() {
@@ -48,6 +57,17 @@ func main() {
 		engine = flag.Bool("engine", false, "also run the query on the real concurrent engine and print its latency snapshot")
 		obsFl  = flag.String("obs", "", "serve expvar and pprof debug endpoints on this address (e.g. 127.0.0.1:6060)")
 
+		// Network query service (-serve): expose the concurrent engine
+		// over HTTP/JSON instead of running a one-shot query.
+		serveFl    = flag.String("serve", "", "serve HTTP/JSON kNN queries on this address (e.g. :8080) instead of running a one-shot query")
+		serveCert  = flag.String("serve-cert", "", "TLS certificate file for -serve (with -serve-key)")
+		serveKey   = flag.String("serve-key", "", "TLS private key file for -serve")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant sustained admission rate in queries/sec (0 = no quotas)")
+		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant token-bucket burst (default: quota-rate)")
+		watermark  = flag.Int64("watermark", 0, "shed load (429) while any disk's queue depth reaches this (0 = no shedding)")
+		sloMs      = flag.Float64("slo-ms", 0, "count served queries slower than this many milliseconds as SLO violations")
+		coalesce   = flag.Bool("coalesce", false, "engine/serve mode: merge concurrent fetches of the same page into one disk job")
+
 		// Persistent storage: back the index (and the engine's replicas)
 		// with real files instead of memory.
 		storeFl = flag.String("store", "mem", "page store: mem (volatile) or file (disk-backed with WAL crash recovery)")
@@ -68,11 +88,16 @@ func main() {
 	flag.Parse()
 
 	if *obsFl != "" {
-		_, addr, err := obs.StartDebugServer(*obsFl)
+		dbg, err := obs.StartDebugServer(*obsFl)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("debug server: http://%s/debug/vars (expvar), /debug/pprof (profiles)\n", addr)
+		defer func() {
+			if err := dbg.Close(); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		fmt.Printf("debug server: http://%s/debug/vars (expvar), /debug/pprof (profiles)\n", dbg.Addr())
 	}
 
 	pts, err := loadPoints(*file, *set, *n, *dim, *seed)
@@ -119,6 +144,87 @@ func main() {
 		s := ix.StorageStats()
 		fmt.Printf("durable store: %d page writes, %d WAL appends (%d syncs), %d records replayed in %d recoveries\n",
 			s.PageWrites, s.WALAppends, s.WALSyncs, s.ReplayedRecords, s.Recoveries)
+	}
+
+	// engineCfg assembles the concurrent-engine configuration shared by
+	// -engine and -serve: replica stores, optional file backing, and
+	// the deterministic fault injector.
+	engineCfg := func() (core.EngineConfig, bool) {
+		cfg := core.EngineConfig{
+			Mirrors: *mirrors, HedgeReads: *hedge, CoalesceFetches: *coalesce,
+		}
+		if icfg.DataDir != "" {
+			// File mode extends to the engine: every replica gets its own
+			// on-disk page file under <data-dir>/replicas.
+			cfg.DataDir = filepath.Join(*dataDir, "replicas")
+			cfg.Mmap = *mmapFl
+			if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		injecting := *failDrive >= 0 || *faultP > 0 || *spikeP > 0
+		if injecting {
+			inj := core.NewFaultInjector(*faultSeed)
+			for drv := 0; drv < *disks*max(*mirrors, 1); drv++ {
+				f := core.DriveFaults{Transient: *faultP, SpikeProb: *spikeP,
+					SpikeDelay: time.Duration(*spikeMs * float64(time.Millisecond))}
+				if drv == *failDrive {
+					if *failAfter > 0 {
+						f.FailAfter = *failAfter
+					} else {
+						f.Dead = true
+					}
+				}
+				inj.Set(drv, f)
+			}
+			cfg.Fault = inj
+		}
+		return cfg, injecting
+	}
+
+	if *serveFl != "" {
+		cfg, _ := engineCfg()
+		eng, err := ix.NewEngine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+		if *obsFl != "" {
+			eng.PublishExpvar("engine")
+		}
+		srv, err := server.New(server.Config{
+			Backend:        eng.Exec(),
+			QueueWatermark: *watermark,
+			QuotaRate:      *quotaRate,
+			QuotaBurst:     *quotaBurst,
+			SLOTarget:      time.Duration(*sloMs * float64(time.Millisecond)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(*serveFl, *serveCert, *serveKey); err != nil {
+			log.Fatal(err)
+		}
+		scheme := "http"
+		if *serveCert != "" {
+			scheme = "https"
+		}
+		fmt.Printf("query service: %s://%s/v1/knn (POST), /v1/stats, /healthz\n", scheme, srv.Addr())
+
+		// Serve until SIGINT/SIGTERM, then drain in-flight queries.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+		fmt.Println("\nshutting down: draining in-flight queries")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		s := eng.Snapshot()
+		fmt.Printf("served %d queries (%d pages fetched, %d coalesced); drained cleanly\n",
+			s.Stats.Queries, s.Stats.PagesFetched, s.Stats.FetchesCoalesced)
+		return
 	}
 
 	var q geom.Point
@@ -169,33 +275,7 @@ func main() {
 	}
 
 	if *engine {
-		cfg := core.EngineConfig{Mirrors: *mirrors, HedgeReads: *hedge}
-		if icfg.DataDir != "" {
-			// File mode extends to the engine: every replica gets its own
-			// on-disk page file under <data-dir>/replicas.
-			cfg.DataDir = filepath.Join(*dataDir, "replicas")
-			cfg.Mmap = *mmapFl
-			if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
-				log.Fatal(err)
-			}
-		}
-		injecting := *failDrive >= 0 || *faultP > 0 || *spikeP > 0
-		if injecting {
-			inj := core.NewFaultInjector(*faultSeed)
-			for drv := 0; drv < *disks*max(*mirrors, 1); drv++ {
-				f := core.DriveFaults{Transient: *faultP, SpikeProb: *spikeP,
-					SpikeDelay: time.Duration(*spikeMs * float64(time.Millisecond))}
-				if drv == *failDrive {
-					if *failAfter > 0 {
-						f.FailAfter = *failAfter
-					} else {
-						f.Dead = true
-					}
-				}
-				inj.Set(drv, f)
-			}
-			cfg.Fault = inj
-		}
+		cfg, injecting := engineCfg()
 		eng, err := ix.NewEngine(cfg)
 		if err != nil {
 			log.Fatal(err)

@@ -87,10 +87,14 @@ func main() {
 	// While the engine runs, its live snapshot (counters, per-disk
 	// gauges, latency percentiles) is scrapable from /debug/vars, and
 	// pprof profiles from /debug/pprof.
-	if srv, addr, err := obs.StartDebugServer("127.0.0.1:0"); err == nil {
-		defer srv.Close()
+	if srv, err := obs.StartDebugServer("127.0.0.1:0"); err == nil {
+		defer func() {
+			if err := srv.Close(); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
 		eng.PublishExpvar("engine")
-		fmt.Printf("\ndebug server: http://%s/debug/vars\n", addr)
+		fmt.Printf("\ndebug server: http://%s/debug/vars\n", srv.Addr())
 	}
 
 	const clients = 8

@@ -258,29 +258,13 @@ func (ix *Index) Tree() *parallel.Tree {
 // AlgorithmByName resolves one of the paper's algorithms — "bbss",
 // "fpss", "crss" (default recommendation), "woptss" — or the extensions
 // "bfss" (best-first) and "eps-series" (growing range-query baseline).
+// It delegates to the shared registry in internal/query.
 func AlgorithmByName(name string) (query.Algorithm, error) {
-	switch name {
-	case "bbss", "BBSS":
-		return query.BBSS{}, nil
-	case "fpss", "FPSS":
-		return query.FPSS{}, nil
-	case "crss", "CRSS", "":
-		return query.CRSS{}, nil
-	case "woptss", "WOPTSS":
-		return query.WOPTSS{}, nil
-	case "bfss", "BFSS", "best-first":
-		return query.BFSS{}, nil
-	case "eps-series", "EPS-SERIES", "epsilon":
-		return query.EpsilonSeries{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", name)
-	}
+	return query.AlgorithmByName(name)
 }
 
 // Algorithms lists the built-in algorithm names in presentation order.
-func Algorithms() []string {
-	return []string{"bbss", "fpss", "crss", "woptss", "bfss", "eps-series"}
-}
+func Algorithms() []string { return query.AlgorithmNames() }
 
 // KNN answers a k-nearest-neighbor query with the named algorithm
 // (empty string = CRSS, the paper's recommendation) and reports access
@@ -425,6 +409,11 @@ func (e *Engine) KNN(ctx context.Context, q Point, k int, algorithm string) ([]N
 	defer e.ix.mu.RUnlock()
 	return e.eng.KNN(ctx, alg, q, k, query.Options{})
 }
+
+// Exec exposes the underlying exec.Engine for callers that need its
+// full surface — the network query service fronts it directly (per-
+// request observers, queue-depth gauges for admission control).
+func (e *Engine) Exec() *exec.Engine { return e.eng }
 
 // Stats returns the engine's cumulative counters.
 func (e *Engine) Stats() EngineStats { return e.eng.Stats() }

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/rtree"
+)
+
+// coalescer is the cross-request page-fetch coalescing layer
+// (Config.CoalesceFetches): when concurrent queries ask for the same
+// page at the same time, exactly one fetch job goes through the disk
+// queue — the others join the in-flight "flight" and share its result.
+// This is singleflight at the *request* level, one layer above the
+// decoded-page cache's singleflight (bufferpool.Sharded): the cache
+// deduplicates decodes once a job reaches a worker, while the
+// coalescer deduplicates the jobs themselves, so merged fetches share
+// one queue slot and one in-flight semaphore slot. Under a saturated
+// array that is the difference between N queries queueing N copies of
+// a hot directory page and all of them riding one fetch.
+//
+// A flight is keyed by page id (pages live on exactly one logical
+// disk, so the page identifies the disk too) and lives in a sharded
+// map; shards are locked independently so coalescing adds one short
+// critical section to the submit path.
+type coalescer struct {
+	shards []coShard
+}
+
+type coShard struct {
+	mu      sync.Mutex
+	flights map[rtree.PageID]*pageFlight // guarded by mu
+}
+
+// pageFlight is one in-flight page fetch that later requests may join.
+// waiters is guarded by the owning shard's mu; once the flight is
+// removed from the shard map it is immutable and delivered.
+type pageFlight struct {
+	waiters []flightWaiter
+}
+
+// flightWaiter is one joined request: the joining batch's result
+// channel and the request's slot in that batch.
+type flightWaiter struct {
+	out chan<- fetchResult
+	idx int
+}
+
+const coalesceShards = 16
+
+func newCoalescer() *coalescer {
+	c := &coalescer{shards: make([]coShard, coalesceShards)}
+	for i := range c.shards {
+		c.shards[i].flights = make(map[rtree.PageID]*pageFlight) //lint:allow lockcheck construction: no other goroutine can hold the shard yet
+	}
+	return c
+}
+
+func (c *coalescer) shardOf(id rtree.PageID) *coShard {
+	return &c.shards[(uint64(uint32(id))*0x9e3779b97f4a7c15)%coalesceShards]
+}
+
+// join registers out/idx on an existing flight for page, reporting
+// whether one was found. When it returns false the caller must lead a
+// new flight (lead) or abort it (abort) so joiners never hang.
+func (c *coalescer) join(page rtree.PageID, out chan<- fetchResult, idx int) (*coShard, bool) {
+	sh := c.shardOf(page)
+	sh.mu.Lock()
+	if f, ok := sh.flights[page]; ok {
+		f.waiters = append(f.waiters, flightWaiter{out: out, idx: idx})
+		sh.mu.Unlock()
+		return sh, true
+	}
+	f := &pageFlight{}
+	sh.flights[page] = f
+	sh.mu.Unlock()
+	return sh, false
+}
+
+// resolve removes page's flight from the shard and returns the waiters
+// registered while it was open. After resolve, new requests for the
+// page start a fresh flight.
+func (sh *coShard) resolve(page rtree.PageID) []flightWaiter {
+	sh.mu.Lock()
+	f := sh.flights[page]
+	delete(sh.flights, page)
+	sh.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.waiters
+}
+
+// fanOut delivers one worker result to the flight leader and every
+// joined waiter. It runs on its own goroutine (spawned when the leader
+// job is enqueued) so batch collection loops stay driver-agnostic:
+// every slot — led or joined — receives exactly one fetchResult on its
+// batch's channel. Joined deliveries are marked coalesced (for the
+// cancellation-retry path in fetchBatch) and, on success, count as
+// served-without-a-decode for trace attribution, mirroring the cache's
+// shared-flight hits.
+func (e *Engine) fanOut(sh *coShard, page rtree.PageID, jobOut <-chan fetchResult, leader flightWaiter) {
+	res := <-jobOut
+	lres := res
+	lres.idx = leader.idx
+	leader.out <- lres
+	for _, w := range sh.resolve(page) {
+		r := res
+		r.idx = w.idx
+		r.coalesced = true
+		if r.err == nil {
+			r.hit = true
+		}
+		w.out <- r
+	}
+}
+
+// abortFlight resolves a flight whose leader failed to enqueue its job
+// (cancelled or engine closed): every joined waiter gets the
+// submission error so its batch can retry or unwind — a joiner must
+// never be left waiting on a flight that will not fly.
+func (e *Engine) abortFlight(sh *coShard, page rtree.PageID, err error) {
+	for _, w := range sh.resolve(page) {
+		w.out <- fetchResult{idx: w.idx, err: err, coalesced: true}
+	}
+}

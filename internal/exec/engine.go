@@ -57,6 +57,16 @@ type Config struct {
 	// pages with singleflight fetch deduplication (0 = no cache; every
 	// request decodes from its disk's page image).
 	CachePages int
+	// CoalesceFetches merges concurrent fetches of the same page
+	// across queries into one disk job: later requests join the
+	// in-flight fetch and share its result instead of queueing their
+	// own copy. This is request-level singleflight, one layer above
+	// the decoded-page cache's (which deduplicates decodes, not queue
+	// and in-flight slots) — the network query service enables it so
+	// concurrent clients hammering the same hot directory pages share
+	// fan-outs instead of multiplying queue depth. Results are
+	// bit-identical with or without coalescing.
+	CoalesceFetches bool
 	// CacheShards is the lock sharding of the page cache (default 8).
 	CacheShards int
 	// Mirrors is the number of physical replicas of every logical
@@ -153,6 +163,11 @@ type Stats struct {
 	// Distinct from FetchesCancelled: cancellation noise never masks
 	// an I/O error, and vice versa.
 	FetchErrors uint64
+	// FetchesCoalesced counts fetch requests served by joining another
+	// query's in-flight fetch of the same page (Config.CoalesceFetches)
+	// instead of queueing their own disk job. They do not count as
+	// PagesFetched — no worker served them.
+	FetchesCoalesced uint64
 }
 
 // Sub diffs two cumulative snapshots (s taken after prev).
@@ -164,6 +179,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Decodes:          s.Decodes - prev.Decodes,
 		FetchesCancelled: s.FetchesCancelled - prev.FetchesCancelled,
 		FetchErrors:      s.FetchErrors - prev.FetchErrors,
+		FetchesCoalesced: s.FetchesCoalesced - prev.FetchesCoalesced,
 	}
 }
 
@@ -235,8 +251,13 @@ type fetchResult struct {
 	node *rtree.Node
 	err  error
 	wall time.Duration // queue wait + service, worker-measured
-	hit  bool          // served by the shared decoded-page cache
+	hit  bool          // served without a decode: page cache or a coalesced flight
 	done bool          // a worker actually processed this slot
+	// coalesced marks a result delivered through another request's
+	// flight (request-level coalescing). A coalesced cancellation may
+	// be the flight leader's, not this query's — fetchBatch refetches
+	// such slots directly while its own context is live.
+	coalesced bool
 }
 
 // Engine executes k-NN queries concurrently against a shared parallel
@@ -252,6 +273,7 @@ type Engine struct {
 	queues   []chan *fetchJob
 	sem      chan struct{} // in-flight fetch slots
 	cache    *bufferpool.Sharded[rtree.PageID, *rtree.Node]
+	co       *coalescer // request-level fetch coalescing (nil unless Config.CoalesceFetches)
 
 	mu       sync.Mutex
 	isClosed bool           // guarded by mu
@@ -265,6 +287,13 @@ type Engine struct {
 	decodes          atomic.Uint64
 	fetchesCancelled atomic.Uint64
 	fetchErrors      atomic.Uint64
+	fetchesCoalesced atomic.Uint64
+
+	// hedgeP99Nanos / hedgeRefreshAt cache the p99-derived hedge delay
+	// so the hot hedged-read path does not pay a full histogram
+	// snapshot per read (see hedgeDelay).
+	hedgeP99Nanos  atomic.Int64
+	hedgeRefreshAt atomic.Uint64
 
 	// Observability: per-disk gauges and wall-clock latency
 	// histograms, always on (single atomic ops on the hot path).
@@ -353,6 +382,9 @@ func New(t *parallel.Tree, cfg Config) (*Engine, error) {
 			cfg.CachePages, cfg.CacheShards,
 			func(id rtree.PageID) uint64 { return uint64(uint32(id)) * 0x9e3779b97f4a7c15 })
 	}
+	if cfg.CoalesceFetches {
+		e.co = newCoalescer()
+	}
 	for d := 0; d < n; d++ {
 		e.queues[d] = make(chan *fetchJob, cfg.QueueDepth)
 		for w := 0; w < cfg.WorkersPerDisk; w++ {
@@ -427,7 +459,23 @@ func (e *Engine) Stats() Stats {
 		Decodes:          e.decodes.Load(),
 		FetchesCancelled: e.fetchesCancelled.Load(),
 		FetchErrors:      e.fetchErrors.Load(),
+		FetchesCoalesced: e.fetchesCoalesced.Load(),
 	}
+}
+
+// QueueDepths reports each logical disk's current fetch backlog: jobs
+// sitting in (or blocked entering) the disk's queue plus jobs a worker
+// is serving right now. The network query service's admission control
+// sheds load when any disk's depth crosses its watermark — queue depth
+// is the earliest saturation signal the array gives (the paper's
+// queueing collapse shows up here before it shows up in latency).
+func (e *Engine) QueueDepths() []int64 {
+	out := make([]int64, len(e.gauges))
+	for d := range e.gauges {
+		g := &e.gauges[d]
+		out[d] = g.Queued.Load() + g.InFlight.Load()
+	}
+	return out
 }
 
 // ReplicaHealth reports, per logical disk and mirror, whether the
@@ -562,10 +610,22 @@ type repRead struct {
 	rep  *replica
 }
 
+// hedgeTimersLive audits the hedge timer lifecycle: +1 when readHedged
+// starts its delay timer, -1 when the timer is resolved (stopped or
+// fired). Every return path must resolve its timer — the race is
+// decided in one select, so resolution happens exactly there, before
+// the (potentially long: retries, backoff, mirror walk) fallback
+// paths run. A sustained-load regression test asserts this stays 0 at
+// rest; a leaked timer would pin its heap entry for the full hedge
+// delay per read and accumulate under load.
+var hedgeTimersLive atomic.Int64
+
 // readHedged races the primary replica against a mirror: the mirror
 // read fires only if the primary has not answered within the hedge
 // delay, and the first successful answer wins. Failures fall back to
-// the remaining live mirrors sequentially.
+// the remaining live mirrors sequentially. The hedge timer is resolved
+// (stopped or fired) in the race select itself — never carried into
+// the fallback walk, whose retry backoffs can outlive the delay.
 func (e *Engine) readHedged(ctx context.Context, d int, order []*replica, id rtree.PageID) (*rtree.Node, error) {
 	primary, backup := order[0], order[1]
 	out := make(chan repRead, 2) // buffered: a loser never blocks or leaks
@@ -574,13 +634,16 @@ func (e *Engine) readHedged(ctx context.Context, d int, order []*replica, id rtr
 		out <- repRead{node: n, err: err, rep: primary}
 	}()
 	timer := time.NewTimer(e.hedgeDelay())
-	defer timer.Stop()
+	hedgeTimersLive.Add(1)
 	inFlight := 1
 	var first repRead
 	select {
 	case first = <-out:
+		timer.Stop()
+		hedgeTimersLive.Add(-1)
 		inFlight--
 	case <-timer.C:
+		hedgeTimersLive.Add(-1) // fired: nothing left to stop
 		e.faults.Hedges.Add(1)
 		inFlight++
 		go func() {
@@ -590,6 +653,8 @@ func (e *Engine) readHedged(ctx context.Context, d int, order []*replica, id rtr
 		first = <-out
 		inFlight--
 	case <-ctx.Done():
+		timer.Stop()
+		hedgeTimersLive.Add(-1)
 		return nil, ctx.Err()
 	}
 	if first.err == nil {
@@ -635,15 +700,35 @@ func (e *Engine) readHedged(ctx context.Context, d int, order []*replica, id rtr
 	return nil, &fault.ErrDataUnavailable{Disk: d, Page: id, Last: lastErr}
 }
 
+// hedgeMinSamples is how many replica-read observations the latency
+// histogram needs before its p99 is trusted over the configured floor;
+// hedgeRefreshEvery is how many further observations a cached p99
+// stays valid for before it is recomputed.
+const (
+	hedgeMinSamples   = 64
+	hedgeRefreshEvery = 256
+)
+
 // hedgeDelay derives the hedge trigger from the replica-read latency
 // p99, floored by Config.HedgeDelayFloor while the histogram is too
-// thin to trust.
+// thin to trust. The p99 is cached and refreshed every
+// hedgeRefreshEvery observations: snapshotting the full histogram
+// (25-bucket copy plus quantile walk) on every hedged read made the
+// hot read path pay for its own telemetry. A lost CAS race simply
+// serves the previous cached value — the delay is a heuristic trigger
+// and never affects results.
 func (e *Engine) hedgeDelay() time.Duration {
 	delay := e.cfg.HedgeDelayFloor
-	if s := e.readLat.Snapshot(); s.Count >= 64 {
-		if p := time.Duration(s.P99() * float64(time.Second)); p > delay {
-			delay = p
-		}
+	c := e.readLat.Count()
+	if c < hedgeMinSamples {
+		return delay
+	}
+	if at := e.hedgeRefreshAt.Load(); c >= at && e.hedgeRefreshAt.CompareAndSwap(at, c+hedgeRefreshEvery) {
+		s := e.readLat.Snapshot()
+		e.hedgeP99Nanos.Store(int64(s.P99() * float64(time.Second)))
+	}
+	if p := time.Duration(e.hedgeP99Nanos.Load()); p > delay {
+		delay = p
 	}
 	return delay
 }
@@ -718,6 +803,75 @@ func batchError(ioErr, submitErr, cancelErr error) error {
 	return cancelErr
 }
 
+// submitOne submits one page request of a batch: it acquires an
+// in-flight slot and enqueues a job on the page's disk, delivering the
+// result to out at idx. With request-level coalescing enabled it first
+// tries to join an in-flight fetch of the same page — a join consumes
+// no semaphore slot and no queue slot, and the shared result arrives
+// on out like any other. When this call starts a new flight, later
+// requests may join it until the worker's result is fanned out; if the
+// job cannot be enqueued (cancelled context or closed engine), every
+// waiter that joined meanwhile is aborted with the submission error so
+// none is left hanging. A nil return means exactly one fetchResult for
+// idx will eventually arrive on out.
+func (e *Engine) submitOne(ctx context.Context, r query.PageRequest, idx int, out chan fetchResult, semWait *time.Duration) error {
+	var sh *coShard
+	leads := false
+	if e.co != nil {
+		var joined bool
+		sh, joined = e.co.join(r.Page, out, idx)
+		if joined {
+			e.fetchesCoalesced.Add(1)
+			return nil
+		}
+		leads = true
+	}
+	acquire := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+		*semWait += time.Since(acquire)
+	case <-ctx.Done():
+		if leads {
+			e.abortFlight(sh, r.Page, ctx.Err())
+		}
+		return ctx.Err()
+	case <-e.closed:
+		if leads {
+			e.abortFlight(sh, r.Page, ErrClosed)
+		}
+		return ErrClosed
+	}
+	jobOut := out
+	if leads {
+		// The worker delivers once to the flight's private channel; the
+		// fan-out goroutine forwards it to the leader and every joiner.
+		jobOut = make(chan fetchResult, 1)
+	}
+	job := &fetchJob{page: r.Page, idx: idx, ctx: ctx, out: jobOut, submitted: time.Now()}
+	e.gauges[r.Disk].Queued.Add(1)
+	select {
+	case e.queues[r.Disk] <- job:
+	case <-ctx.Done():
+		e.gauges[r.Disk].Queued.Add(-1)
+		<-e.sem
+		if leads {
+			e.abortFlight(sh, r.Page, ctx.Err())
+		}
+		return ctx.Err()
+	case <-e.closed:
+		e.gauges[r.Disk].Queued.Add(-1)
+		<-e.sem
+		if leads {
+			e.abortFlight(sh, r.Page, ErrClosed)
+		}
+		return ErrClosed
+	}
+	if leads {
+		go e.fanOut(sh, r.Page, jobOut, flightWaiter{out: out, idx: idx})
+	}
+	return nil
+}
+
 // fetchBatch resolves one stage's requests through the disk workers:
 // jobs fan out to the per-disk queues (respecting the in-flight bound)
 // and completions are collected asynchronously, then reordered to
@@ -734,44 +888,34 @@ func (e *Engine) fetchBatch(ctx context.Context, stage int, reqs []query.PageReq
 	submitted := 0
 	var semWait time.Duration
 	var submitErr error
-submit:
 	for i, r := range reqs {
-		acquire := time.Now()
-		select {
-		case e.sem <- struct{}{}:
-			semWait += time.Since(acquire)
-		case <-ctx.Done():
-			submitErr = ctx.Err()
-			break submit
-		case <-e.closed:
-			submitErr = ErrClosed
-			break submit
+		if err := e.submitOne(ctx, r, i, out, &semWait); err != nil {
+			submitErr = err
+			break
 		}
-		job := &fetchJob{page: r.Page, idx: i, ctx: ctx, out: out, submitted: time.Now()}
-		e.gauges[r.Disk].Queued.Add(1)
-		select {
-		case e.queues[r.Disk] <- job:
-			submitted++
-		case <-ctx.Done():
-			e.gauges[r.Disk].Queued.Add(-1)
-			<-e.sem
-			submitErr = ctx.Err()
-			break submit
-		case <-e.closed:
-			e.gauges[r.Disk].Queued.Add(-1)
-			<-e.sem
-			submitErr = ErrClosed
-			break submit
-		}
+		submitted++
 	}
 	e.semWait.Observe(semWait.Seconds())
 	// Drain every submitted job even after an error: workers own sem
 	// slots until delivery, and the first I/O error must not be masked
 	// by cancellation noise from sibling fetches.
 	var ioErr, cancelErr error
+	var retryWait time.Duration // refetch sem waits, past the SemWait observation
 	results := make([]fetchResult, len(reqs))
-	for c := 0; c < submitted; c++ {
+	for remaining := submitted; remaining > 0; {
 		res := <-out
+		if res.coalesced && res.err != nil && isCancellation(res.err) && ctx.Err() == nil {
+			// The flight this slot joined was cancelled by its leader's
+			// query, not ours. This query is still live, so refetch the
+			// page directly — another query's cancellation must never
+			// fail an innocent bystander.
+			if err := e.submitOne(ctx, reqs[res.idx], res.idx, out, &retryWait); err == nil {
+				continue // the refetched result will arrive on out
+			} else {
+				res.err = err // engine closed (or we just got cancelled)
+			}
+		}
+		remaining--
 		results[res.idx] = res
 		switch {
 		case res.err == nil:

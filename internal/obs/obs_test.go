@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -216,11 +218,12 @@ func TestCollector(t *testing.T) {
 }
 
 func TestStartDebugServer(t *testing.T) {
-	srv, addr, err := StartDebugServer("127.0.0.1:0")
+	srv, err := StartDebugServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	addr := srv.Addr()
 	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
 	if err != nil {
 		t.Fatal(err)
@@ -240,5 +243,44 @@ func TestStartDebugServer(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+}
+
+// TestDebugServerShutdown is the regression for the missing shutdown
+// path: Close and Shutdown must report a clean exit (nil, with
+// http.ErrServerClosed swallowed), be idempotent across both methods,
+// and actually release the port.
+func TestDebugServerShutdown(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown reported %v on a clean exit", err)
+	}
+	// Calling the other teardown flavor afterwards must be safe and
+	// still report clean.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown reported %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr)); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+	// The port must be free for rebinding.
+	srv2, err := StartDebugServer(addr)
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("Close reported %v on a clean exit", err)
 	}
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
@@ -8,16 +10,62 @@ import (
 	"time"
 )
 
+// DebugServer is a running expvar/pprof endpoint with a shutdown path.
+// Callers own its lifecycle: Close (or Shutdown) must be called on
+// teardown, and either returns the background Serve error if the
+// listener died early — previously that error was silently dropped, so
+// a debug server killed by the OS looked identical to one that was
+// never scraped.
+type DebugServer struct {
+	srv      *http.Server
+	addr     net.Addr
+	serveErr chan error // buffered; receives Serve's return exactly once
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.addr }
+
+// Close stops the server immediately, severing open connections, and
+// returns the error Serve exited with (nil on clean shutdown).
+func (d *DebugServer) Close() error {
+	cerr := d.srv.Close()
+	if err := d.waitServe(); err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Shutdown stops the server gracefully, waiting for in-flight scrapes
+// (profiles can run for seconds) until ctx expires, and returns the
+// error Serve exited with.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	serr := d.srv.Shutdown(ctx)
+	if err := d.waitServe(); err != nil {
+		return err
+	}
+	return serr
+}
+
+func (d *DebugServer) waitServe() error {
+	err := <-d.serveErr
+	d.serveErr <- err // re-arm so Close and Shutdown are both safe to call
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
 // StartDebugServer serves expvar (/debug/vars) and net/http/pprof
 // (/debug/pprof/...) on addr in a background goroutine, returning once
 // the listener is bound so the caller can report the actual address
-// (use ":0" for an ephemeral port). The returned server's Close stops
-// it. A dedicated mux is used so importing this package never
-// publishes handlers on http.DefaultServeMux.
-func StartDebugServer(addr string) (*http.Server, net.Addr, error) {
+// (use ":0" for an ephemeral port). The caller must Close or Shutdown
+// the returned server on teardown. A dedicated mux is used so
+// importing this package never publishes handlers on
+// http.DefaultServeMux.
+func StartDebugServer(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -26,10 +74,13 @@ func StartDebugServer(addr string) (*http.Server, net.Addr, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	d := &DebugServer{
+		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		addr:     ln.Addr(),
+		serveErr: make(chan error, 1),
+	}
 	go func() {
-		// Serve exits with ErrServerClosed on Close; nothing to do.
-		_ = srv.Serve(ln)
+		d.serveErr <- d.srv.Serve(ln)
 	}()
-	return srv, ln.Addr(), nil
+	return d, nil
 }

@@ -1,0 +1,34 @@
+package query
+
+import "fmt"
+
+// AlgorithmByName resolves one of the paper's algorithms — "bbss",
+// "fpss", "crss" (default recommendation), "woptss" — or the
+// extensions "bfss" (best-first) and "eps-series" (growing range-query
+// baseline). The empty string resolves to CRSS. Names are accepted in
+// lower or upper case as listed; this registry is shared by the core
+// facade, the CLI and the network query service.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch name {
+	case "bbss", "BBSS":
+		return BBSS{}, nil
+	case "fpss", "FPSS":
+		return FPSS{}, nil
+	case "crss", "CRSS", "":
+		return CRSS{}, nil
+	case "woptss", "WOPTSS":
+		return WOPTSS{}, nil
+	case "bfss", "BFSS", "best-first":
+		return BFSS{}, nil
+	case "eps-series", "EPS-SERIES", "epsilon":
+		return EpsilonSeries{}, nil
+	default:
+		return nil, fmt.Errorf("query: unknown algorithm %q", name)
+	}
+}
+
+// AlgorithmNames lists the built-in algorithm names in presentation
+// order.
+func AlgorithmNames() []string {
+	return []string{"bbss", "fpss", "crss", "woptss", "bfss", "eps-series"}
+}
